@@ -1,0 +1,95 @@
+//! Regenerates **Figure 9**: metadata-cache-size sensitivity. MemPod, THM
+//! and HMA run with 16 / 32 / 64 KB of on-chip metadata cache (MemPod's is
+//! split across its four pods), plus the cache-free variant; AMMAT is
+//! normalized to the no-migration TLM baseline.
+//!
+//! Run: `cargo run --release -p mempod-bench --bin fig9_cache_sensitivity`
+
+use mempod_bench::{group_means, write_json, Opts, TextTable};
+use mempod_core::ManagerKind;
+use mempod_sim::{SimReport, Simulator};
+
+const CACHES: [Option<u64>; 4] = [
+    Some(16 << 10),
+    Some(32 << 10),
+    Some(64 << 10),
+    None, // cache-free reference (Fig. 8 conditions)
+];
+const MANAGED: [ManagerKind; 3] = [ManagerKind::MemPod, ManagerKind::Thm, ManagerKind::Hma];
+
+fn main() {
+    let opts = Opts::from_args();
+    let n = opts.requests_or(2_000_000);
+    let specs = opts.sweep_suite();
+    println!(
+        "Figure 9 — cache-size sensitivity, {} workloads x {n} requests",
+        specs.len()
+    );
+    println!("(AMMAT normalized to no-migration TLM; 'free' = unbounded on-chip metadata)\n");
+
+    // results[workload] = (tlm, [(kind, cache, report)])
+    let mut all: Vec<(String, f64, Vec<(ManagerKind, Option<u64>, SimReport)>)> = Vec::new();
+    for spec in &specs {
+        let trace = opts.trace(spec, n);
+        let tlm = Simulator::new(opts.sim_config(ManagerKind::NoMigration))
+            .expect("valid")
+            .run(&trace);
+        let mut rows = Vec::new();
+        for &kind in &MANAGED {
+            for &cache in &CACHES {
+                let mut cfg = opts.sim_config(kind);
+                cfg.mgr.meta_cache_bytes = cache;
+                let r = Simulator::new(cfg).expect("valid").run(&trace);
+                rows.push((kind, cache, r));
+            }
+        }
+        eprintln!("  [{} done]", spec.name());
+        all.push((spec.name().to_string(), tlm.ammat_ps(), rows));
+    }
+
+    let label = |c: Option<u64>| match c {
+        Some(b) => format!("{}KB", b >> 10),
+        None => "free".to_string(),
+    };
+    let mut t = TextTable::new(&["mechanism", "cache", "AMMAT vs TLM", "meta miss rate"]);
+    let mut json = Vec::new();
+    for &kind in &MANAGED {
+        for &cache in &CACHES {
+            let items: Vec<(String, (f64, f64))> = all
+                .iter()
+                .map(|(w, tlm, rows)| {
+                    let (_, _, r) = rows
+                        .iter()
+                        .find(|(k, c, _)| *k == kind && *c == cache)
+                        .expect("present");
+                    let miss = r.meta_cache.map_or(0.0, |s| s.miss_rate());
+                    (w.clone(), (r.ammat_ps() / tlm, miss))
+                })
+                .collect();
+            let (_, _, norm) = group_means(&items, |(a, _)| *a);
+            let mean_miss =
+                items.iter().map(|(_, (_, m))| m).sum::<f64>() / items.len() as f64;
+            t.row(vec![
+                kind.to_string(),
+                label(cache),
+                format!("{norm:.3}"),
+                if cache.is_some() {
+                    format!("{mean_miss:.3}")
+                } else {
+                    "-".to_string()
+                },
+            ]);
+            json.push(serde_json::json!({
+                "mechanism": kind.to_string(),
+                "cache_bytes": cache,
+                "norm_ammat": norm,
+                "mean_miss_rate": mean_miss,
+            }));
+        }
+    }
+    println!("{}", t.render());
+    println!("Paper: with 16/32/64 KB MemPod improves 4/7/9% over TLM and stays ahead;");
+    println!("cache impact vs cache-free is ~16/14/12% (MemPod), ~12/10/9% (THM).");
+
+    write_json("fig9_cache_sensitivity", &serde_json::Value::Array(json));
+}

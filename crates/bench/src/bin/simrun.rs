@@ -1,0 +1,120 @@
+//! General-purpose simulation CLI: run any workload under any manager with
+//! parameter overrides, and print the full report.
+//!
+//! ```text
+//! cargo run --release -p mempod-bench --bin simrun -- \
+//!     --workload mix9 --manager mempod --requests 4000000 \
+//!     --epoch-us 50 --mea-entries 64 --mea-bits 2 [--future] [--cache-kb 32]
+//! ```
+
+use mempod_bench::{write_json, Opts};
+use mempod_core::ManagerKind;
+use mempod_sim::Simulator;
+use mempod_trace::{TraceGenerator, WorkloadSpec};
+use mempod_types::Picos;
+
+fn parse_manager(s: &str) -> ManagerKind {
+    match s.to_ascii_lowercase().as_str() {
+        "mempod" => ManagerKind::MemPod,
+        "hma" => ManagerKind::Hma,
+        "thm" => ManagerKind::Thm,
+        "cameo" => ManagerKind::Cameo,
+        "tlm" | "nomigration" | "none" => ManagerKind::NoMigration,
+        "hbm" | "hbmonly" => ManagerKind::HbmOnly,
+        "ddr" | "ddronly" => ManagerKind::DdrOnly,
+        other => panic!("unknown manager {other}; try mempod|hma|thm|cameo|tlm|hbm|ddr"),
+    }
+}
+
+fn main() {
+    // Manual parsing: keep the offline-dependency footprint minimal.
+    let mut workload = "mix1".to_string();
+    let mut manager = ManagerKind::MemPod;
+    let mut requests = 2_000_000usize;
+    let mut seed = 7u64;
+    let mut epoch_us: Option<u64> = None;
+    let mut mea_entries: Option<usize> = None;
+    let mut mea_bits: Option<u32> = None;
+    let mut cache_kb: Option<u64> = None;
+    let mut future = false;
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| panic!("{a} needs a value"));
+        match a.as_str() {
+            "--workload" => workload = val(),
+            "--manager" => manager = parse_manager(&val()),
+            "--requests" => requests = val().parse().expect("integer"),
+            "--seed" => seed = val().parse().expect("integer"),
+            "--epoch-us" => epoch_us = Some(val().parse().expect("integer")),
+            "--mea-entries" => mea_entries = Some(val().parse().expect("integer")),
+            "--mea-bits" => mea_bits = Some(val().parse().expect("integer")),
+            "--cache-kb" => cache_kb = Some(val().parse().expect("integer")),
+            "--future" => future = true,
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let opts = Opts {
+        smoke,
+        requests: Some(requests),
+        workloads: None,
+        seed,
+    };
+    let spec = WorkloadSpec::homogeneous(&workload)
+        .or_else(|| WorkloadSpec::mix(&workload))
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let trace = TraceGenerator::new(spec, seed).take_requests(requests, &opts.system().geometry);
+
+    let mut cfg = opts.sim_config(manager);
+    if let Some(us) = epoch_us {
+        cfg.mgr.epoch = Picos::from_us(us);
+    }
+    if let Some(k) = mea_entries {
+        cfg.mgr.mea_entries = k;
+    }
+    if let Some(b) = mea_bits {
+        cfg.mgr.mea_counter_bits = b;
+    }
+    if let Some(kb) = cache_kb {
+        cfg.mgr.meta_cache_bytes = Some(kb << 10);
+    }
+    if future {
+        cfg = cfg.into_future_system();
+    }
+
+    let report = Simulator::new(cfg).expect("valid configuration").run(&trace);
+    println!("workload   : {} ({} requests, {})", workload, report.requests, report.duration);
+    println!("manager    : {}", report.manager);
+    println!("AMMAT      : {:.2} ns", report.ammat_ns());
+    println!("fast tier  : {:.1}% of requests", report.mem_stats.fast_service_fraction() * 100.0);
+    println!("row hits   : {:.1}%", report.row_hit_rate() * 100.0);
+    println!(
+        "migrations : {} swaps, {:.1} MB moved over {} intervals",
+        report.migration.migrations,
+        report.migrated_mb(),
+        report.migration.intervals
+    );
+    if !report.migration.per_pod_bytes.is_empty() {
+        let per: Vec<String> = report
+            .migration
+            .per_pod_bytes
+            .iter()
+            .map(|b| format!("{:.1}", *b as f64 / (1 << 20) as f64))
+            .collect();
+        println!("per-pod MB : [{}]", per.join(", "));
+    }
+    if let Some(meta) = report.meta_cache {
+        println!(
+            "meta cache : {:.2}% miss rate over {} lookups",
+            meta.miss_rate() * 100.0,
+            meta.lookups
+        );
+    }
+    write_json(
+        &format!("simrun_{}_{}", workload, report.manager),
+        &serde_json::to_value(&report).expect("serializable"),
+    );
+}

@@ -1,0 +1,324 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (`fig8_performance`, `table1_costs`, ...). This library provides the
+//! shared plumbing: option parsing, experiment-scale configuration, trace
+//! caching, result tables, and JSON persistence into `results/`.
+//!
+//! # Experiment scale
+//!
+//! Two scales are supported (see `EXPERIMENTS.md` for the rationale):
+//!
+//! * **full** (default): the paper's 1 GB + 8 GB geometry and Table 2
+//!   timings. Trace lengths default to a few million requests per workload
+//!   (tens of milliseconds of simulated time); HMA's interval is set to
+//!   20 ms — scaled to the trace length so HMA gets its 2–3 migration
+//!   rounds, with the paper's sort-penalty/interval ratio (7 %) preserved.
+//! * **`--smoke`**: a 256×-scaled-down geometry and short traces, for CI.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mempod_core::ManagerKind;
+use mempod_sim::SimConfig;
+use mempod_trace::{Trace, TraceGenerator, WorkloadSpec};
+use mempod_types::{Picos, SystemConfig};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Run at CI scale (tiny geometry, few requests).
+    pub smoke: bool,
+    /// Requests per workload trace (`None` = the binary's default).
+    pub requests: Option<usize>,
+    /// Restrict to these workloads (`None` = the binary's default set).
+    pub workloads: Option<Vec<String>>,
+    /// Trace generation seed.
+    pub seed: u64,
+}
+
+impl Opts {
+    /// Parses `--smoke`, `--requests N`, `--workloads a,b,c`, `--seed N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = Opts {
+            smoke: false,
+            requests: None,
+            workloads: None,
+            seed: 7,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--requests" => {
+                    let v = args.next().expect("--requests needs a value");
+                    opts.requests = Some(v.parse().expect("--requests must be an integer"));
+                }
+                "--workloads" => {
+                    let v = args.next().expect("--workloads needs a value");
+                    opts.workloads = Some(v.split(',').map(str::to_string).collect());
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                other => panic!(
+                    "unknown argument {other}; expected --smoke, --requests N, --workloads a,b,c, --seed N"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// The system configuration at this scale.
+    pub fn system(&self) -> SystemConfig {
+        if self.smoke {
+            SystemConfig::tiny()
+        } else {
+            SystemConfig::paper_default()
+        }
+    }
+
+    /// Effective request count given the binary's full-scale default.
+    pub fn requests_or(&self, default_full: usize) -> usize {
+        match self.requests {
+            Some(n) => n,
+            None if self.smoke => (default_full / 50).max(50_000),
+            None => default_full,
+        }
+    }
+
+    /// Resolves the workload list: explicit `--workloads`, else `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named workload does not exist.
+    pub fn workload_specs(&self, default: &[&str]) -> Vec<WorkloadSpec> {
+        let names: Vec<String> = match &self.workloads {
+            Some(v) => v.clone(),
+            None => default.iter().map(|s| s.to_string()).collect(),
+        };
+        names
+            .iter()
+            .map(|n| {
+                if n == "all" {
+                    unreachable!("expand 'all' before calling workload_specs")
+                } else {
+                    WorkloadSpec::homogeneous(n)
+                        .or_else(|| WorkloadSpec::mix(n))
+                        .unwrap_or_else(|| panic!("unknown workload {n}"))
+                }
+            })
+            .collect()
+    }
+
+    /// The complete 29-workload suite, or a short list under `--smoke`.
+    pub fn full_suite(&self) -> Vec<WorkloadSpec> {
+        if let Some(v) = &self.workloads {
+            if !(v.len() == 1 && v[0] == "all") {
+                return self.workload_specs(&[]);
+            }
+        }
+        if self.smoke {
+            self.workload_specs(&["gcc", "bwaves", "mix5"])
+        } else {
+            WorkloadSpec::all_workloads()
+        }
+    }
+
+    /// A representative medium subset used by the parameter sweeps.
+    pub fn sweep_suite(&self) -> Vec<WorkloadSpec> {
+        if self.workloads.is_some() {
+            return self.workload_specs(&[]);
+        }
+        let names = if self.smoke {
+            vec!["gcc", "mix5"]
+        } else {
+            vec!["gcc", "xalanc", "cactus", "mcf", "libquantum", "mix5", "mix9"]
+        };
+        names
+            .iter()
+            .map(|n| {
+                WorkloadSpec::homogeneous(n)
+                    .or_else(|| WorkloadSpec::mix(n))
+                    .expect("known workload")
+            })
+            .collect()
+    }
+
+    /// Simulation config for one manager at this experiment scale.
+    ///
+    /// At full scale, HMA's interval is set to 20 ms (sort penalty 1.4 ms —
+    /// the paper's 7 % ratio) so multi-million-request traces span several
+    /// HMA rounds; `--smoke` uses the capacity-scaled values from
+    /// [`SimConfig::new`].
+    pub fn sim_config(&self, kind: ManagerKind) -> SimConfig {
+        let mut cfg = SimConfig::new(self.system(), kind);
+        if !self.smoke {
+            cfg.mgr.hma_interval = Picos::from_ms(20);
+            cfg.mgr.hma_sort_penalty = Picos::from_us(1400);
+        }
+        cfg
+    }
+
+    /// Generates (deterministically) the trace for a workload.
+    pub fn trace(&self, spec: &WorkloadSpec, requests: usize) -> Arc<Trace> {
+        let sys = self.system();
+        Arc::new(TraceGenerator::new(spec.clone(), self.seed).take_requests(requests, &sys.geometry))
+    }
+}
+
+/// Writes a JSON value into `results/<name>.json` (creating the directory).
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment results must not be silently lost.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+        .expect("write results file");
+    println!("\n[saved {}]", path.display());
+}
+
+/// Simple fixed-width table printer for experiment output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Splits workload reports into the paper's aggregation groups
+/// (homogeneous / mixed / all) and returns the geometric means of `f`.
+pub fn group_means<T>(items: &[(String, T)], f: impl Fn(&T) -> f64) -> (f64, f64, f64) {
+    let is_mix = |name: &str| name.starts_with("mix");
+    let hg: Vec<f64> = items
+        .iter()
+        .filter(|(n, _)| !is_mix(n))
+        .map(|(_, t)| f(t))
+        .collect();
+    let mix: Vec<f64> = items
+        .iter()
+        .filter(|(n, _)| is_mix(n))
+        .map(|(_, t)| f(t))
+        .collect();
+    let all: Vec<f64> = items.iter().map(|(_, t)| f(t)).collect();
+    (
+        mempod_sim::geometric_mean(hg),
+        mempod_sim::geometric_mean(mix),
+        mempod_sim::geometric_mean(all),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("long-header"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn group_means_splits_mixes() {
+        let items = vec![
+            ("gcc".to_string(), 2.0),
+            ("mix1".to_string(), 8.0),
+            ("mix2".to_string(), 2.0),
+        ];
+        let (hg, mix, all) = group_means(&items, |v| *v);
+        assert!((hg - 2.0).abs() < 1e-12);
+        assert!((mix - 4.0).abs() < 1e-12);
+        assert!((all - (32.0f64).powf(1.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_opts_full_scale() {
+        let o = Opts {
+            smoke: false,
+            requests: None,
+            workloads: None,
+            seed: 1,
+        };
+        assert_eq!(o.requests_or(6_000_000), 6_000_000);
+        assert_eq!(o.full_suite().len(), 29);
+        assert_eq!(o.sweep_suite().len(), 7);
+        assert_eq!(
+            o.sim_config(ManagerKind::Hma).mgr.hma_interval,
+            Picos::from_ms(20)
+        );
+    }
+
+    #[test]
+    fn smoke_opts_shrink_everything() {
+        let o = Opts {
+            smoke: true,
+            requests: None,
+            workloads: None,
+            seed: 1,
+        };
+        assert_eq!(o.requests_or(6_000_000), 120_000);
+        assert_eq!(o.full_suite().len(), 3);
+        assert!(o.system().geometry.total_bytes() < 1 << 30);
+    }
+}

@@ -1,0 +1,282 @@
+//! The CAMEO baseline (Chou et al., MICRO 2014; paper §2, §4).
+//!
+//! CAMEO manages the flat address space at cache-line (64 B) granularity:
+//! lines form congruence groups of one fast line plus `ratio` slow lines,
+//! and **every access to a slow line immediately swaps it** with the group's
+//! fast resident (an event trigger — no activity tracking at all).
+//!
+//! The pathologies the paper measures fall out directly: at a 1:8
+//! fast:slow ratio most accesses hit slow lines, so CAMEO moves more data
+//! than anyone (3.9 GB per experiment in the paper) and thrashes whenever
+//! two hot lines share a group.
+
+use mempod_types::{FrameId, Geometry, MemRequest, PageId, Picos, LINE_SIZE, PAGE_SIZE};
+
+use crate::llp::{LineLocationPredictor, LlpStats};
+use crate::manager::{AccessOutcome, ManagerConfig, ManagerKind, MemoryManager, MigrationStats};
+use crate::migration::Migration;
+use crate::segment::SegmentMap;
+
+const LINES_PER_PAGE: u64 = (PAGE_SIZE / LINE_SIZE) as u64;
+
+/// The CAMEO line-granularity, event-triggered migration manager.
+///
+/// # Examples
+///
+/// ```
+/// use mempod_core::{CameoManager, ManagerConfig, MemoryManager};
+/// use mempod_types::{AccessKind, Addr, CoreId, MemRequest, Picos};
+///
+/// let cfg = ManagerConfig::tiny();
+/// let mut mgr = CameoManager::new(&cfg);
+/// // An access to a slow line triggers a swap on the spot.
+/// let slow = cfg.geometry.fast_bytes();
+/// let r = MemRequest::new(Addr(slow), AccessKind::Read, Picos::ZERO, CoreId(0));
+/// let out = mgr.on_access(&r);
+/// assert_eq!(out.migrations.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CameoManager {
+    #[allow(dead_code)]
+    geo: Geometry,
+    segs: SegmentMap,
+    stats: MigrationStats,
+    /// Lines swapped into fast memory that were never accessed there before
+    /// being evicted again ("wasted migrations", §6.3.2).
+    wasted: u64,
+    /// Fast-resident lines not yet re-touched since their swap-in.
+    pending_touch: std::collections::HashSet<u64>,
+    /// Optional Line Location Predictor (paper §2): mispredictions cost a
+    /// blocking bookkeeping read.
+    llp: Option<LineLocationPredictor>,
+}
+
+impl CameoManager {
+    /// Builds a CAMEO manager from the shared configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slow tier is not an integer multiple of the fast tier.
+    pub fn new(cfg: &ManagerConfig) -> Self {
+        let geo = cfg.geometry;
+        let ratio = geo.slow_to_fast_ratio();
+        assert!(
+            geo.fast_pages() * ratio == geo.slow_pages(),
+            "slow tier must be an integer multiple of the fast tier"
+        );
+        CameoManager {
+            geo,
+            segs: SegmentMap::new(geo.fast_lines(), ratio as u8),
+            stats: MigrationStats::default(),
+            wasted: 0,
+            pending_touch: std::collections::HashSet::new(),
+            llp: cfg.cameo_llp.then(|| LineLocationPredictor::new(4096)),
+        }
+    }
+
+    /// LLP accuracy statistics, if the predictor is enabled.
+    pub fn llp_stats(&self) -> Option<LlpStats> {
+        self.llp.as_ref().map(LineLocationPredictor::stats)
+    }
+
+    /// Swap-ins that were evicted before being touched in fast memory.
+    pub fn wasted_migrations(&self) -> u64 {
+        self.wasted
+    }
+
+    /// Physical (frame, line-in-page) of a line unit.
+    fn frame_line(unit: u64) -> (FrameId, u32) {
+        (FrameId(unit / LINES_PER_PAGE), (unit % LINES_PER_PAGE) as u32)
+    }
+}
+
+impl MemoryManager for CameoManager {
+    fn on_access(&mut self, req: &MemRequest) -> AccessOutcome {
+        let line = req.addr.line();
+        let (group, member) = self.segs.group_of(line.0);
+        let slot = self.segs.slot_of(group, member);
+        let mut migrations = Vec::new();
+        // LLP: a misprediction forces a bookkeeping read from memory.
+        let meta_miss = match &mut self.llp {
+            Some(llp) => !llp.predict_and_train(group, slot == 0),
+            None => false,
+        };
+
+        if slot == 0 {
+            // Fast hit: the line is being used where it lives.
+            self.pending_touch.remove(&line.0);
+        } else {
+            // Event trigger: swap this line into the group's fast slot now.
+            let old_unit = self.segs.location_of(line.0);
+            let fast_unit = self.segs.unit_of(group, 0);
+            let (_, displaced) = self
+                .segs
+                .swap_into_fast(group, member)
+                .expect("slot != 0 implies a real swap");
+            let displaced_line = self.segs.unit_of(group, displaced);
+            // Wasted-migration accounting: if the displaced line was never
+            // touched while fast, its swap-in was wasted.
+            if self.pending_touch.remove(&displaced_line) {
+                self.wasted += 1;
+            }
+            self.pending_touch.insert(line.0);
+
+            let (fa, la) = Self::frame_line(old_unit);
+            let (fb, lb) = Self::frame_line(fast_unit);
+            debug_assert_eq!(la, lb, "group stride preserves line offset");
+            let m = Migration::line_swap(
+                fa,
+                fb,
+                la,
+                PageId(line.0 / LINES_PER_PAGE),
+                PageId(displaced_line / LINES_PER_PAGE),
+            );
+            self.stats.record(&m);
+            migrations.push(m);
+        }
+
+        let (frame, line_in_page) = Self::frame_line(self.segs.location_of(line.0));
+        AccessOutcome {
+            frame,
+            line_in_page,
+            migrations,
+            stall: Picos::ZERO,
+            meta_miss,
+        }
+    }
+
+    fn kind(&self) -> ManagerKind {
+        ManagerKind::Cameo
+    }
+
+    fn migration_stats(&self) -> &MigrationStats {
+        &self.stats
+    }
+
+    fn frame_of_page(&self, page: PageId) -> FrameId {
+        // CAMEO has no page-level mapping; report the frame holding the
+        // page's first line (used only by coarse invariant checks).
+        let (frame, _) = Self::frame_line(self.segs.location_of(page.0 * LINES_PER_PAGE));
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempod_types::{AccessKind, Addr, CoreId, Tier};
+
+    fn req_line(line: u64, t: u64) -> MemRequest {
+        MemRequest::new(Addr(line * 64), AccessKind::Read, Picos(t), CoreId(0))
+    }
+
+    fn cfg() -> ManagerConfig {
+        ManagerConfig::tiny()
+    }
+
+    #[test]
+    fn every_slow_access_triggers_a_swap() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = CameoManager::new(&cfg);
+        let slow_line = geo.fast_lines() + 5;
+        let out = mgr.on_access(&req_line(slow_line, 0));
+        assert_eq!(out.migrations.len(), 1);
+        assert_eq!(out.migrations[0].line_count, 1);
+        // Serviced from the fast location after the swap.
+        assert_eq!(geo.tier_of_frame(out.frame), Tier::Fast);
+        // Re-access: now fast, no swap.
+        let out2 = mgr.on_access(&req_line(slow_line, 1));
+        assert!(out2.migrations.is_empty());
+        assert_eq!(geo.tier_of_frame(out2.frame), Tier::Fast);
+    }
+
+    #[test]
+    fn fast_access_never_migrates() {
+        let cfg = cfg();
+        let mut mgr = CameoManager::new(&cfg);
+        let out = mgr.on_access(&req_line(3, 0));
+        assert!(out.migrations.is_empty());
+        assert_eq!(out.frame, FrameId(0));
+        assert_eq!(out.line_in_page, 3);
+    }
+
+    #[test]
+    fn two_lines_in_one_group_thrash() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = CameoManager::new(&cfg);
+        let a = geo.fast_lines() + 9; // member 1 of group 9
+        let b = 2 * geo.fast_lines() + 9; // member 2 of group 9
+        let mut swaps = 0;
+        for i in 0..100u64 {
+            let line = if i % 2 == 0 { a } else { b };
+            swaps += mgr.on_access(&req_line(line, i)).migrations.len();
+        }
+        // Ping-pong: every single access after the first hits a slow line.
+        assert_eq!(swaps, 100);
+        assert!(mgr.wasted_migrations() > 0);
+    }
+
+    #[test]
+    fn group_stride_preserves_line_offset_in_page() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = CameoManager::new(&cfg);
+        // fast_lines is a multiple of 32, so a line's offset within its
+        // page is invariant across slots.
+        assert_eq!(geo.fast_lines() % 32, 0);
+        let slow_line = geo.fast_lines() + 40; // offset 8 in its page
+        let out = mgr.on_access(&req_line(slow_line, 0));
+        assert_eq!(out.line_in_page, (slow_line % 32) as u32);
+    }
+
+    #[test]
+    fn traffic_accounting_counts_both_directions() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = CameoManager::new(&cfg);
+        mgr.on_access(&req_line(geo.fast_lines(), 0));
+        let s = mgr.migration_stats();
+        assert_eq!(s.migrations, 1);
+        assert_eq!(s.bytes_moved, 128); // 2 x 64 B
+    }
+
+    #[test]
+    fn llp_mispredictions_surface_as_meta_misses() {
+        let mut cfg = cfg();
+        cfg.cameo_llp = true;
+        let geo = cfg.geometry;
+        let mut mgr = CameoManager::new(&cfg);
+        // Slow-biased initial state: a slow access predicts correctly...
+        let out = mgr.on_access(&req_line(geo.fast_lines() + 3, 0));
+        assert!(!out.meta_miss);
+        // ...but the line is now fast, so the next access mispredicts once,
+        // then the predictor retrains.
+        let out2 = mgr.on_access(&req_line(geo.fast_lines() + 3, 1));
+        assert!(out2.meta_miss);
+        let s = mgr.llp_stats().expect("enabled");
+        assert_eq!(s.predictions, 2);
+        assert_eq!(s.correct, 1);
+    }
+
+    #[test]
+    fn llp_disabled_by_default() {
+        let mgr = CameoManager::new(&cfg());
+        assert!(mgr.llp_stats().is_none());
+    }
+
+    #[test]
+    fn displaced_line_translation_is_consistent() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = CameoManager::new(&cfg);
+        let slow_line = geo.fast_lines() + 2;
+        mgr.on_access(&req_line(slow_line, 0));
+        // Original fast line 2 was displaced to slow_line's home.
+        let out = mgr.on_access(&req_line(2, 1));
+        // That access is itself a slow access now -> swaps back.
+        assert_eq!(out.migrations.len(), 1);
+        assert_eq!(geo.tier_of_frame(out.frame), Tier::Fast);
+    }
+}

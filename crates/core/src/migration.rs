@@ -1,0 +1,102 @@
+//! The [`Migration`] descriptor: one physical swap to execute.
+
+use mempod_types::{FrameId, PageId, LINE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// One swap between two physical frames, at page or line granularity.
+///
+/// The two sides exchange `line_count` consecutive 64 B lines starting at
+/// `line_start` within each frame. A full 2 KB page swap is
+/// `line_start = 0, line_count = 32` — the paper's "32 read requests for
+/// each of the two migration candidates and then another set of 32 requests
+/// for each of the two write-backs" (§6.2). CAMEO swaps a single line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// One frame of the swap.
+    pub frame_a: FrameId,
+    /// The other frame.
+    pub frame_b: FrameId,
+    /// First line within each frame to move.
+    pub line_start: u32,
+    /// Number of consecutive lines swapped.
+    pub line_count: u32,
+    /// Original page whose data sits in `frame_a` (blocked during the swap).
+    pub page_a: PageId,
+    /// Original page whose data sits in `frame_b` (blocked during the swap).
+    pub page_b: PageId,
+    /// Pod performing the swap, if the manager is pod-clustered.
+    pub pod: Option<u32>,
+}
+
+impl Migration {
+    /// A full-page swap.
+    pub fn page_swap(
+        frame_a: FrameId,
+        frame_b: FrameId,
+        page_a: PageId,
+        page_b: PageId,
+        pod: Option<u32>,
+    ) -> Self {
+        Migration {
+            frame_a,
+            frame_b,
+            line_start: 0,
+            line_count: 32,
+            page_a,
+            page_b,
+            pod,
+        }
+    }
+
+    /// A single-line swap (CAMEO).
+    pub fn line_swap(
+        frame_a: FrameId,
+        frame_b: FrameId,
+        line: u32,
+        page_a: PageId,
+        page_b: PageId,
+    ) -> Self {
+        Migration {
+            frame_a,
+            frame_b,
+            line_start: line,
+            line_count: 1,
+            page_a,
+            page_b,
+            pod: None,
+        }
+    }
+
+    /// Bytes moved by this swap (both directions).
+    pub fn bytes_moved(&self) -> u64 {
+        2 * self.line_count as u64 * LINE_SIZE as u64
+    }
+
+    /// Memory requests the swap injects: a read and a write per line per
+    /// direction.
+    pub fn injected_requests(&self) -> u64 {
+        4 * self.line_count as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_swap_moves_4kb_in_128_requests() {
+        let m = Migration::page_swap(FrameId(1), FrameId(2), PageId(10), PageId(20), Some(0));
+        assert_eq!(m.bytes_moved(), 4096); // 2 x 2 KB
+        assert_eq!(m.injected_requests(), 128); // paper §6.2
+        assert_eq!(m.line_count, 32);
+    }
+
+    #[test]
+    fn line_swap_moves_128_bytes_in_4_requests() {
+        let m = Migration::line_swap(FrameId(1), FrameId(2), 7, PageId(10), PageId(20));
+        assert_eq!(m.bytes_moved(), 128);
+        assert_eq!(m.injected_requests(), 4);
+        assert_eq!(m.line_start, 7);
+        assert_eq!(m.pod, None);
+    }
+}

@@ -1,0 +1,196 @@
+//! The remap table: pages ↔ frames as a permutation (paper §4.1, §5.2).
+//!
+//! MemPod needs, per pod, (a) a table giving each page's current frame and
+//! (b) an inverted table giving each fast frame's current page (to find
+//! eviction candidates). We keep one global pair of dense arrays — pod
+//! partitioning is by index residue, so per-pod views are just strided
+//! slices of the same permutation.
+//!
+//! The two arrays are maintained as mutual inverses at all times; this is
+//! the central correctness invariant of a migration simulator (a broken
+//! remap silently services requests from the wrong physical location).
+
+use mempod_types::{FrameId, PageId};
+
+/// A bijective page → frame mapping with an O(1) inverse.
+///
+/// # Examples
+///
+/// ```
+/// use mempod_core::RemapTable;
+/// use mempod_types::{FrameId, PageId};
+///
+/// let mut t = RemapTable::identity(8);
+/// t.swap_frames(FrameId(0), FrameId(5));
+/// assert_eq!(t.frame_of(PageId(0)), FrameId(5));
+/// assert_eq!(t.page_in(FrameId(0)), PageId(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapTable {
+    to_frame: Vec<u32>,
+    to_page: Vec<u32>,
+}
+
+impl RemapTable {
+    /// The identity mapping over `n` pages/frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` (4 G pages = 8 TB of 2 KB pages).
+    pub fn identity(n: u64) -> Self {
+        assert!(n <= u32::MAX as u64, "remap table index exceeds u32");
+        let ident: Vec<u32> = (0..n as u32).collect();
+        RemapTable {
+            to_frame: ident.clone(),
+            to_page: ident,
+        }
+    }
+
+    /// Number of pages (= frames) tracked.
+    pub fn len(&self) -> u64 {
+        self.to_frame.len() as u64
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_frame.is_empty()
+    }
+
+    /// The frame currently holding `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn frame_of(&self, page: PageId) -> FrameId {
+        FrameId(self.to_frame[page.0 as usize] as u64)
+    }
+
+    /// The page currently held by `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is out of range.
+    pub fn page_in(&self, frame: FrameId) -> PageId {
+        PageId(self.to_page[frame.0 as usize] as u64)
+    }
+
+    /// Whether `page` still resides in its original (identity) frame.
+    pub fn is_home(&self, page: PageId) -> bool {
+        self.to_frame[page.0 as usize] as u64 == page.0
+    }
+
+    /// Exchanges the contents of two frames, updating both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frame is out of range.
+    pub fn swap_frames(&mut self, a: FrameId, b: FrameId) {
+        if a == b {
+            return;
+        }
+        let pa = self.to_page[a.0 as usize];
+        let pb = self.to_page[b.0 as usize];
+        self.to_page[a.0 as usize] = pb;
+        self.to_page[b.0 as usize] = pa;
+        self.to_frame[pa as usize] = b.0 as u32;
+        self.to_frame[pb as usize] = a.0 as u32;
+    }
+
+    /// Verifies the permutation invariant (O(n); meant for tests).
+    pub fn check_invariant(&self) -> bool {
+        self.to_frame
+            .iter()
+            .enumerate()
+            .all(|(p, &f)| self.to_page[f as usize] as usize == p)
+    }
+
+    /// Hardware storage in bits for one direction of the table, given
+    /// `entries` entries of `ceil(log2(entries))`-bit frame numbers —
+    /// Table 1's "1 entry per page" cost.
+    pub fn storage_bits(entries: u64) -> u64 {
+        let width = 64 - (entries.max(2) - 1).leading_zeros() as u64;
+        entries * width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_home() {
+        let t = RemapTable::identity(16);
+        for i in 0..16 {
+            assert_eq!(t.frame_of(PageId(i)), FrameId(i));
+            assert_eq!(t.page_in(FrameId(i)), PageId(i));
+            assert!(t.is_home(PageId(i)));
+        }
+        assert!(t.check_invariant());
+        assert_eq!(t.len(), 16);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn swap_updates_both_directions() {
+        let mut t = RemapTable::identity(8);
+        t.swap_frames(FrameId(2), FrameId(6));
+        assert_eq!(t.frame_of(PageId(2)), FrameId(6));
+        assert_eq!(t.frame_of(PageId(6)), FrameId(2));
+        assert_eq!(t.page_in(FrameId(2)), PageId(6));
+        assert_eq!(t.page_in(FrameId(6)), PageId(2));
+        assert!(!t.is_home(PageId(2)));
+        assert!(t.check_invariant());
+    }
+
+    #[test]
+    fn swap_chain_keeps_permutation() {
+        let mut t = RemapTable::identity(64);
+        // Deterministic pseudo-random swap storm.
+        let mut x = 0xDEADBEEFu64;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = FrameId(x % 64);
+            x ^= x << 13;
+            x ^= x >> 7;
+            let b = FrameId(x % 64);
+            t.swap_frames(a, b);
+        }
+        assert!(t.check_invariant());
+    }
+
+    #[test]
+    fn self_swap_is_noop() {
+        let mut t = RemapTable::identity(4);
+        t.swap_frames(FrameId(1), FrameId(1));
+        assert!(t.is_home(PageId(1)));
+        assert!(t.check_invariant());
+    }
+
+    #[test]
+    fn double_swap_restores_identity() {
+        let mut t = RemapTable::identity(8);
+        t.swap_frames(FrameId(0), FrameId(3));
+        t.swap_frames(FrameId(0), FrameId(3));
+        assert!((0..8).all(|i| t.is_home(PageId(i))));
+    }
+
+    #[test]
+    fn storage_cost_matches_table1() {
+        // Paper Table 1: MemPod remap table "1 entry per page (2.8 MB / Pod)".
+        // 1.1M pages/pod x 21-bit entries ≈ 2.9 MB — the paper's 2.8 MB
+        // up to rounding of the page count.
+        let bits = RemapTable::storage_bits(1_100_000);
+        assert_eq!(bits, 1_100_000 * 21);
+        let mb = bits as f64 / 8.0 / 1e6;
+        assert!((2.7..3.0).contains(&mb), "{mb}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_page_panics() {
+        let t = RemapTable::identity(4);
+        let _ = t.frame_of(PageId(4));
+    }
+}

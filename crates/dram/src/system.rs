@@ -1,0 +1,436 @@
+//! The [`MemorySystem`]: fast + slow channels behind one interface.
+//!
+//! This is what the rest of the suite talks to. Callers submit requests by
+//! *physical frame* (post-remap) and line-in-page; the system decodes the
+//! location, routes to the owning channel, and later reports completions.
+//! A fixed controller/interconnect latency is added to every access.
+
+use mempod_types::{AccessKind, FrameId, Picos, Tier, LINE_SIZE, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{Channel, ChannelStats, Priority, ReqToken};
+use crate::mapper::{AddressMapper, Interleave};
+use crate::timing::DramTiming;
+
+/// Capacity/channel/timing description of a complete memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemLayout {
+    /// Number of fast-tier page frames (frames `0..fast_frames`).
+    pub fast_frames: u64,
+    /// Number of slow-tier page frames (frames `fast_frames..`).
+    pub slow_frames: u64,
+    /// Fast-tier channel count (0 if the tier is absent).
+    pub fast_channels: u32,
+    /// Slow-tier channel count (0 if the tier is absent).
+    pub slow_channels: u32,
+    /// Fast-tier timing.
+    pub fast_timing: DramTiming,
+    /// Slow-tier timing.
+    pub slow_timing: DramTiming,
+    /// Fixed controller + interconnect latency added to each access.
+    pub ctrl_latency: Picos,
+    /// Channel interleaving granularity.
+    #[serde(default)]
+    pub interleave: Interleave,
+}
+
+impl MemLayout {
+    /// The paper's Table 2 system: 1 GB HBM over 8 channels + 8 GB
+    /// DDR4-1600 over 4 channels.
+    pub fn paper_default() -> Self {
+        MemLayout {
+            fast_frames: (1u64 << 30) / PAGE_SIZE as u64,
+            slow_frames: (8u64 << 30) / PAGE_SIZE as u64,
+            fast_channels: 8,
+            slow_channels: 4,
+            fast_timing: DramTiming::hbm(),
+            slow_timing: DramTiming::ddr4_1600(),
+            ctrl_latency: Picos::from_ns(10),
+            interleave: Interleave::PageFrame,
+        }
+    }
+
+    /// The Fig. 10 future system: 4 GHz HBM + DDR4-2400.
+    pub fn future_default() -> Self {
+        MemLayout {
+            fast_timing: DramTiming::hbm_4ghz(),
+            slow_timing: DramTiming::ddr4_2400(),
+            ..MemLayout::paper_default()
+        }
+    }
+
+    /// An HBM-only system of `total_frames` frames (the paper's "9 GB
+    /// on-chip" upper bound baseline).
+    pub fn hbm_only(total_frames: u64, timing: DramTiming) -> Self {
+        MemLayout {
+            fast_frames: total_frames,
+            slow_frames: 0,
+            fast_channels: 8,
+            slow_channels: 0,
+            fast_timing: timing,
+            slow_timing: timing,
+            ctrl_latency: Picos::from_ns(10),
+            interleave: Interleave::PageFrame,
+        }
+    }
+
+    /// A DDR-only system of `total_frames` frames (Fig. 10's normalization
+    /// baseline).
+    pub fn ddr_only(total_frames: u64, timing: DramTiming) -> Self {
+        MemLayout {
+            fast_frames: 0,
+            slow_frames: total_frames,
+            fast_channels: 0,
+            slow_channels: 4,
+            fast_timing: timing,
+            slow_timing: timing,
+            ctrl_latency: Picos::from_ns(10),
+            interleave: Interleave::PageFrame,
+        }
+    }
+
+    /// A small system matching [`Geometry::tiny`] for tests: 4 MB + 32 MB.
+    ///
+    /// [`Geometry::tiny`]: mempod_types::Geometry::tiny
+    pub fn tiny() -> Self {
+        MemLayout {
+            fast_frames: (4u64 << 20) / PAGE_SIZE as u64,
+            slow_frames: (32u64 << 20) / PAGE_SIZE as u64,
+            ..MemLayout::paper_default()
+        }
+    }
+
+    /// Scales both tiers' frame counts down by `factor`, keeping channels.
+    pub fn scaled_down(&self, factor: u64) -> Self {
+        MemLayout {
+            fast_frames: self.fast_frames / factor,
+            slow_frames: self.slow_frames / factor,
+            ..*self
+        }
+    }
+
+    /// Total frames across both tiers.
+    pub fn total_frames(&self) -> u64 {
+        self.fast_frames + self.slow_frames
+    }
+}
+
+/// A completed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The token returned by [`MemorySystem::submit`].
+    pub token: ReqToken,
+    /// Absolute completion time (including controller latency).
+    pub completion: Picos,
+}
+
+/// System-wide statistics, split by tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Aggregate over fast channels.
+    pub fast: ChannelStats,
+    /// Aggregate over slow channels.
+    pub slow: ChannelStats,
+}
+
+impl SystemStats {
+    /// Aggregate over all channels.
+    pub fn total(&self) -> ChannelStats {
+        let mut t = self.fast;
+        t.merge(&self.slow);
+        t
+    }
+
+    /// Fraction of requests serviced by the fast tier.
+    pub fn fast_service_fraction(&self) -> f64 {
+        let total = self.total().requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast.requests() as f64 / total as f64
+        }
+    }
+}
+
+/// A two-tier memory system: decode, route, schedule, complete.
+///
+/// # Examples
+///
+/// ```
+/// use mempod_dram::{MemLayout, MemorySystem};
+/// use mempod_types::{AccessKind, FrameId, Picos, Tier};
+///
+/// let mut mem = MemorySystem::new(MemLayout::tiny());
+/// let fast = mem.submit(FrameId(0), 0, AccessKind::Read, Picos::ZERO);
+/// let slow_frame = FrameId(mem.layout().fast_frames); // first slow frame
+/// let slow = mem.submit(slow_frame, 0, AccessKind::Read, Picos::ZERO);
+/// let done = mem.drain_all();
+/// let t = |tok| done.iter().find(|c| c.token == tok).unwrap().completion;
+/// assert!(t(slow) > t(fast)); // DDR4 is slower than HBM
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    layout: MemLayout,
+    mapper: AddressMapper,
+    channels: Vec<Channel>,
+    next_token: u64,
+}
+
+impl MemorySystem {
+    /// Builds an idle system from a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no channels, or frames in a tier with zero
+    /// channels would be unreachable (checked lazily at decode time).
+    pub fn new(layout: MemLayout) -> Self {
+        let mapper = AddressMapper::new(
+            layout.fast_frames,
+            layout.fast_channels,
+            layout.slow_channels,
+            layout.fast_timing.banks,
+            layout.slow_timing.banks,
+            layout.fast_timing.pages_per_row(PAGE_SIZE as u64),
+            layout.slow_timing.pages_per_row(PAGE_SIZE as u64),
+        )
+        .with_interleave(layout.interleave);
+        let mut channels = Vec::new();
+        for _ in 0..layout.fast_channels {
+            channels.push(Channel::new(layout.fast_timing));
+        }
+        for _ in 0..layout.slow_channels {
+            channels.push(Channel::new(layout.slow_timing));
+        }
+        MemorySystem {
+            layout,
+            mapper,
+            channels,
+            next_token: 0,
+        }
+    }
+
+    /// The layout this system was built from.
+    pub fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    /// The address mapper in use.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// The tier of a physical frame.
+    pub fn tier_of(&self, frame: FrameId) -> Tier {
+        self.mapper.tier_of(frame)
+    }
+
+    /// Submits one 64 B access to `(frame, line_in_page)` arriving at `at`.
+    /// Returns a token echoed in the eventual [`Completion`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is out of range or `line_in_page >= 32`.
+    pub fn submit(
+        &mut self,
+        frame: FrameId,
+        line_in_page: u32,
+        kind: AccessKind,
+        at: Picos,
+    ) -> ReqToken {
+        self.submit_with_priority(frame, line_in_page, kind, at, Priority::Demand)
+    }
+
+    /// Submits one access in an explicit scheduling class (background for
+    /// migration data movement).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`submit`](MemorySystem::submit).
+    pub fn submit_with_priority(
+        &mut self,
+        frame: FrameId,
+        line_in_page: u32,
+        kind: AccessKind,
+        at: Picos,
+        priority: Priority,
+    ) -> ReqToken {
+        assert!(
+            frame.0 < self.layout.total_frames(),
+            "frame {frame} out of range"
+        );
+        let loc = self.mapper.decode(frame, line_in_page);
+        let token = ReqToken(self.next_token);
+        self.next_token += 1;
+        self.channels[loc.channel as usize].enqueue_with_priority(
+            token,
+            loc.bank,
+            loc.row,
+            kind.is_write(),
+            at,
+            priority,
+        );
+        token
+    }
+
+    /// Services all requests scheduled before `until`; returns completions
+    /// (each already includes the controller latency), unordered across
+    /// channels.
+    pub fn drain_until(&mut self, until: Picos) -> Vec<Completion> {
+        let ctrl = self.layout.ctrl_latency;
+        let mut out = Vec::new();
+        for ch in &mut self.channels {
+            out.extend(ch.drain_until(until).into_iter().map(|(token, done)| {
+                Completion {
+                    token,
+                    completion: done + ctrl,
+                }
+            }));
+        }
+        out
+    }
+
+    /// Services every outstanding request.
+    pub fn drain_all(&mut self) -> Vec<Completion> {
+        self.drain_until(Picos::MAX)
+    }
+
+    /// Number of requests still queued.
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(Channel::pending).sum()
+    }
+
+    /// Statistics split by tier.
+    pub fn stats(&self) -> SystemStats {
+        let mut s = SystemStats::default();
+        for (i, ch) in self.channels.iter().enumerate() {
+            if (i as u32) < self.layout.fast_channels {
+                s.fast.merge(ch.stats());
+            } else {
+                s.slow.merge(ch.stats());
+            }
+        }
+        s
+    }
+
+    /// Lines per page, exposed for migration traffic generation.
+    pub fn lines_per_page(&self) -> u32 {
+        (PAGE_SIZE / LINE_SIZE) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_shape() {
+        let l = MemLayout::paper_default();
+        assert_eq!(l.fast_frames, 524_288);
+        assert_eq!(l.slow_frames, 4_194_304);
+        assert_eq!(l.total_frames(), 4_718_592);
+        assert_eq!(l.fast_channels, 8);
+        assert_eq!(l.slow_channels, 4);
+    }
+
+    #[test]
+    fn fast_requests_complete_sooner() {
+        let mut mem = MemorySystem::new(MemLayout::tiny());
+        let f = mem.submit(FrameId(0), 0, AccessKind::Read, Picos::ZERO);
+        let first_slow = mem.layout().fast_frames;
+        let s = mem.submit(FrameId(first_slow), 0, AccessKind::Read, Picos::ZERO);
+        let done = mem.drain_all();
+        let get = |tok| {
+            done.iter()
+                .find(|c| c.token == tok)
+                .expect("completed")
+                .completion
+        };
+        assert!(get(s) > get(f));
+        let stats = mem.stats();
+        assert_eq!(stats.fast.requests(), 1);
+        assert_eq!(stats.slow.requests(), 1);
+        assert!((stats.fast_service_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_latency_is_added() {
+        let mut layout = MemLayout::tiny();
+        layout.ctrl_latency = Picos::from_ns(100);
+        let mut mem = MemorySystem::new(layout);
+        mem.submit(FrameId(0), 0, AccessKind::Read, Picos::ZERO);
+        let done = mem.drain_all();
+        assert!(done[0].completion >= Picos::from_ns(100));
+    }
+
+    #[test]
+    fn hbm_only_routes_everything_fast() {
+        let mut mem = MemorySystem::new(MemLayout::hbm_only(1 << 14, DramTiming::hbm()));
+        for i in 0..100u64 {
+            mem.submit(FrameId(i * 7 % (1 << 14)), 0, AccessKind::Read, Picos::ZERO);
+        }
+        let _ = mem.drain_all();
+        let stats = mem.stats();
+        assert_eq!(stats.fast.requests(), 100);
+        assert_eq!(stats.slow.requests(), 0);
+    }
+
+    #[test]
+    fn ddr_only_routes_everything_slow() {
+        let mut mem = MemorySystem::new(MemLayout::ddr_only(1 << 14, DramTiming::ddr4_1600()));
+        for i in 0..50u64 {
+            mem.submit(FrameId(i), 0, AccessKind::Write, Picos::ZERO);
+        }
+        let _ = mem.drain_all();
+        assert_eq!(mem.stats().slow.writes, 50);
+    }
+
+    #[test]
+    fn channels_run_in_parallel() {
+        // 8 simultaneous requests to 8 different fast channels complete at
+        // (nearly) the same time; 8 to one channel serialize on its bus.
+        let mut mem = MemorySystem::new(MemLayout::tiny());
+        let spread: Vec<ReqToken> = (0..8u64)
+            .map(|i| mem.submit(FrameId(i), 0, AccessKind::Read, Picos::ZERO))
+            .collect();
+        let done = mem.drain_all();
+        let times: Vec<Picos> = spread
+            .iter()
+            .map(|t| {
+                done.iter()
+                    .find(|c| c.token == *t)
+                    .expect("completed")
+                    .completion
+            })
+            .collect();
+        assert!(times.iter().all(|&t| t == times[0]), "{times:?}");
+    }
+
+    #[test]
+    fn drain_until_leaves_future_requests_pending() {
+        let mut mem = MemorySystem::new(MemLayout::tiny());
+        mem.submit(FrameId(0), 0, AccessKind::Read, Picos::from_us(100));
+        assert!(mem.drain_until(Picos::from_us(1)).is_empty());
+        assert_eq!(mem.pending(), 1);
+        assert_eq!(mem.drain_all().len(), 1);
+        assert_eq!(mem.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_frame_panics() {
+        let mut mem = MemorySystem::new(MemLayout::tiny());
+        mem.submit(
+            FrameId(mem.layout().total_frames()),
+            0,
+            AccessKind::Read,
+            Picos::ZERO,
+        );
+    }
+
+    #[test]
+    fn scaled_down_divides_frames() {
+        let l = MemLayout::paper_default().scaled_down(64);
+        assert_eq!(l.fast_frames, 524_288 / 64);
+        assert_eq!(l.fast_channels, 8);
+    }
+}

@@ -1,0 +1,45 @@
+//! Full-system two-level-memory simulator.
+//!
+//! This crate ties the suite together: it drives a [`Trace`] through a
+//! migration [`MemoryManager`] and the cycle-level [`MemorySystem`],
+//! accounting the paper's headline metric — **AMMAT** (Average Main Memory
+//! Access Time): total memory stall time divided by the number of *original*
+//! trace requests. Migration traffic, metadata-cache-miss fetches, HMA's
+//! sort freeze, and blocking of in-flight-migration pages all inflate the
+//! numerator, never the denominator (paper §6.2).
+//!
+//! * [`config`] — [`SimConfig`]: manager choice + manager/timing parameters.
+//! * [`simulator`] — the event loop (translate → inject → drain → account).
+//! * [`metrics`] — [`SimReport`] and cross-run aggregation helpers.
+//! * [`runner`] — a scoped-thread parallel runner for experiment matrices.
+//!
+//! [`Trace`]: mempod_trace::Trace
+//! [`MemoryManager`]: mempod_core::MemoryManager
+//! [`MemorySystem`]: mempod_dram::MemorySystem
+//!
+//! # Examples
+//!
+//! ```
+//! use mempod_sim::{SimConfig, Simulator};
+//! use mempod_core::ManagerKind;
+//! use mempod_trace::{TraceGenerator, WorkloadSpec};
+//! use mempod_types::SystemConfig;
+//!
+//! let system = SystemConfig::tiny();
+//! let trace = TraceGenerator::new(WorkloadSpec::hotcold_demo(), 42)
+//!     .take_requests(5_000, &system.geometry);
+//! let cfg = SimConfig::new(system, ManagerKind::MemPod);
+//! let report = Simulator::new(cfg).expect("valid config").run(&trace);
+//! assert!(report.ammat_ps() > 0.0);
+//! assert_eq!(report.requests, 5_000);
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod runner;
+pub mod simulator;
+
+pub use config::{SimConfig, SimError};
+pub use metrics::{geometric_mean, normalize_to, SimReport};
+pub use runner::{run_jobs, Job};
+pub use simulator::Simulator;

@@ -1,0 +1,151 @@
+//! Simulation reports and aggregation helpers.
+
+use mempod_core::{ManagerKind, MetaCacheStats, MigrationStats};
+use mempod_dram::SystemStats;
+use mempod_types::Picos;
+use serde::{Deserialize, Serialize};
+
+/// Everything one simulation run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Manager simulated.
+    pub manager: ManagerKind,
+    /// Original trace requests (the fixed AMMAT denominator).
+    pub requests: u64,
+    /// Total memory stall time across foreground and injected requests.
+    pub total_stall: Picos,
+    /// Trace duration (last arrival).
+    pub duration: Picos,
+    /// Migration accounting from the manager.
+    pub migration: MigrationStats,
+    /// Metadata-cache statistics, if a cache was configured.
+    pub meta_cache: Option<MetaCacheStats>,
+    /// Migration read/write requests injected into the memory system.
+    pub injected_migration_requests: u64,
+    /// Metadata-fetch reads injected.
+    pub injected_meta_requests: u64,
+    /// DRAM-level statistics (row hits, tier service split, ...).
+    pub mem_stats: SystemStats,
+}
+
+impl SimReport {
+    /// An empty report for `workload` under `manager`.
+    pub fn new(workload: &str, manager: ManagerKind) -> Self {
+        SimReport {
+            workload: workload.to_string(),
+            manager,
+            requests: 0,
+            total_stall: Picos::ZERO,
+            duration: Picos::ZERO,
+            migration: MigrationStats::default(),
+            meta_cache: None,
+            injected_migration_requests: 0,
+            injected_meta_requests: 0,
+            mem_stats: SystemStats::default(),
+        }
+    }
+
+    /// Average Main Memory Access Time in picoseconds: total stall divided
+    /// by the number of *original* requests (paper §6.2).
+    pub fn ammat_ps(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_stall.as_ps() as f64 / self.requests as f64
+        }
+    }
+
+    /// AMMAT in nanoseconds (for human-readable tables).
+    pub fn ammat_ns(&self) -> f64 {
+        self.ammat_ps() / 1000.0
+    }
+
+    /// Row-buffer hit rate across all channels.
+    pub fn row_hit_rate(&self) -> f64 {
+        self.mem_stats.total().row_hit_rate()
+    }
+
+    /// Data moved by migrations, in megabytes.
+    pub fn migrated_mb(&self) -> f64 {
+        self.migration.bytes_moved as f64 / (1 << 20) as f64
+    }
+}
+
+/// `a / b` AMMAT ratio: `normalize_to(&report, &baseline) < 1.0` means the
+/// report beats the baseline.
+pub fn normalize_to(report: &SimReport, baseline: &SimReport) -> f64 {
+    let b = baseline.ammat_ps();
+    if b == 0.0 {
+        0.0
+    } else {
+        report.ammat_ps() / b
+    }
+}
+
+/// Geometric mean of a ratio series (the conventional way to average
+/// normalized AMMAT across workloads).
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ammat_divides_by_original_requests() {
+        let mut r = SimReport::new("w", ManagerKind::MemPod);
+        r.requests = 100;
+        r.total_stall = Picos(50_000);
+        assert!((r.ammat_ps() - 500.0).abs() < 1e-9);
+        assert!((r.ammat_ns() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_has_zero_ammat() {
+        let r = SimReport::new("w", ManagerKind::Hma);
+        assert_eq!(r.ammat_ps(), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut a = SimReport::new("w", ManagerKind::MemPod);
+        a.requests = 10;
+        a.total_stall = Picos(1000);
+        let mut b = SimReport::new("w", ManagerKind::NoMigration);
+        b.requests = 10;
+        b.total_stall = Picos(2000);
+        assert!((normalize_to(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(normalize_to(&a, &SimReport::new("w", ManagerKind::Hma)), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(std::iter::empty()), 0.0);
+        // Non-positive values are skipped, not propagated as NaN.
+        assert!((geometric_mean([0.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migrated_mb_converts() {
+        let mut r = SimReport::new("w", ManagerKind::Cameo);
+        r.migration.bytes_moved = 3 << 20;
+        assert!((r.migrated_mb() - 3.0).abs() < 1e-12);
+    }
+}

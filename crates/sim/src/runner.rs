@@ -1,0 +1,126 @@
+//! Parallel experiment runner.
+//!
+//! The paper's figures are matrices (workloads × mechanisms × parameters).
+//! [`run_jobs`] executes a list of independent [`Job`]s across scoped worker
+//! threads, preserving job order in the output. Traces are shared by `Arc`
+//! so a workload generated once can feed every mechanism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mempod_trace::Trace;
+use parking_lot::Mutex;
+
+use crate::config::SimConfig;
+use crate::metrics::SimReport;
+use crate::simulator::Simulator;
+
+/// One simulation to run: a configuration plus a shared trace.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The simulation configuration.
+    pub cfg: SimConfig,
+    /// The trace to drive (shared across jobs).
+    pub trace: Arc<Trace>,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(cfg: SimConfig, trace: Arc<Trace>) -> Self {
+        Job { cfg, trace }
+    }
+}
+
+/// Runs all jobs on `threads` workers, returning reports in job order.
+///
+/// # Panics
+///
+/// Panics if any job's configuration is invalid ([`Simulator::new`] fails) —
+/// experiment matrices are built programmatically, so an invalid entry is a
+/// harness bug worth failing loudly on.
+pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<SimReport> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let n = jobs.len();
+    let jobs = Arc::new(jobs);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; n]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = &jobs[i];
+                let report = Simulator::new(job.cfg.clone())
+                    .expect("experiment matrix contains an invalid configuration")
+                    .run(&job.trace);
+                results.lock()[i] = Some(report);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every job produced a report"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempod_core::ManagerKind;
+    use mempod_trace::{TraceGenerator, WorkloadSpec};
+    use mempod_types::SystemConfig;
+
+    #[test]
+    fn parallel_matches_job_order_and_serial_results() {
+        let sys = SystemConfig::tiny();
+        let trace = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 1)
+                .take_requests(5_000, &sys.geometry),
+        );
+        let kinds = [
+            ManagerKind::MemPod,
+            ManagerKind::NoMigration,
+            ManagerKind::Thm,
+            ManagerKind::HbmOnly,
+        ];
+        let jobs: Vec<Job> = kinds
+            .iter()
+            .map(|&k| Job::new(SimConfig::new(sys.clone(), k), trace.clone()))
+            .collect();
+        let parallel = run_jobs(jobs.clone(), 4);
+        let serial: Vec<SimReport> = jobs
+            .into_iter()
+            .map(|j| Simulator::new(j.cfg).unwrap().run(&j.trace))
+            .collect();
+        assert_eq!(parallel.len(), 4);
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.manager, s.manager);
+            assert_eq!(p.total_stall, s.total_stall);
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(Vec::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let sys = SystemConfig::tiny();
+        let trace = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 1)
+                .take_requests(1_000, &sys.geometry),
+        );
+        let jobs = vec![Job::new(
+            SimConfig::new(sys, ManagerKind::NoMigration),
+            trace,
+        )];
+        assert_eq!(run_jobs(jobs, 1).len(), 1);
+    }
+}

@@ -1,0 +1,564 @@
+//! The simulation event loop.
+//!
+//! The simulator is event-driven and **never advances the memory system
+//! past the trace frontier**: channels drain only up to the current
+//! request's arrival, so foreground and injected traffic contend exactly
+//! when they would in the machine. Anything that must wait for an unknown
+//! completion time is *deferred* and woken by that completion:
+//!
+//! * a triggered [`Migration`] becomes a state machine — its 2×N reads are
+//!   injected (background priority), the write-backs launch when the last
+//!   read completes, and the two involved pages stay blocked until the last
+//!   write completes (paper §4.3/§6.2);
+//! * a foreground access to a blocked page parks on the migration and is
+//!   dispatched at its release;
+//! * a metadata-cache miss injects one read to the backing store in fast
+//!   memory (paper §6.3.3); the access parks on the fetch.
+//!
+//! AMMAT = foreground stall (completion − original arrival, including all
+//! gating) / original request count — the paper's fixed-denominator
+//! formulation (§6.2). Injected traffic contributes through contention and
+//! blocking, not through its own queueing time.
+
+use std::collections::HashMap;
+
+use mempod_core::{build_manager, MemoryManager, Migration};
+use mempod_dram::{Completion, MemorySystem, Priority, ReqToken};
+use mempod_trace::Trace;
+use mempod_types::{AccessKind, FrameId, PageId, Picos};
+
+use crate::config::{SimConfig, SimError};
+use crate::metrics::SimReport;
+
+/// A foreground access waiting to be issued (possibly via a metadata fetch).
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    /// Original arrival: the AMMAT accounting base.
+    arrival: Picos,
+    /// Earliest issue time accumulated so far (stall, blocking, fetch).
+    issue: Picos,
+    frame: FrameId,
+    line: u32,
+    kind: AccessKind,
+    /// Whether a metadata fetch must complete before the access issues.
+    needs_meta: bool,
+    /// Page used to spread metadata-fetch addresses.
+    page: PageId,
+}
+
+/// Who a completed token belongs to.
+#[derive(Debug, Clone, Copy)]
+enum TokenOwner {
+    Foreground { arrival: Picos },
+    MigrationRead { mig: usize },
+    MigrationWrite { mig: usize },
+    MetaFetch { waiter: Waiter },
+}
+
+/// One in-flight migration's execution state.
+#[derive(Debug)]
+struct MigExec {
+    m: Migration,
+    pending: usize,
+    latest: Picos,
+    started: bool,
+    reads_done: bool,
+    done: bool,
+    finish: Picos,
+    waiters: Vec<Waiter>,
+}
+
+/// Lane key for serializing page swaps: pods migrate their pages one at a
+/// time (the pod's migration driver is a single engine), and HMA's OS lane
+/// is likewise serial. CAMEO's single-line swaps are not laned — they are
+/// driven by the MCs themselves on each access.
+fn lane_of(m: &Migration) -> Option<i64> {
+    if m.line_count < 32 {
+        None // line swap: event-driven, unserialised
+    } else {
+        Some(m.pod.map_or(-1, |p| p as i64))
+    }
+}
+
+/// Why a page cannot be accessed right now.
+#[derive(Debug, Clone, Copy)]
+enum PageState {
+    /// Swap in flight; index into the migration list.
+    Migrating(usize),
+    /// Swap finished at this time; accesses before it must wait.
+    BlockedUntil(Picos),
+}
+
+/// Run-time engine state (separate from `Simulator` so completions can
+/// trigger submissions without borrow gymnastics).
+struct Engine {
+    mem: MemorySystem,
+    owners: HashMap<ReqToken, TokenOwner>,
+    migs: Vec<MigExec>,
+    blocked: HashMap<PageId, PageState>,
+    /// Per-lane FIFO of migration indices; front = currently running.
+    lanes: HashMap<i64, std::collections::VecDeque<usize>>,
+    total_stall: Picos,
+    injected_migration: u64,
+    injected_meta: u64,
+}
+
+impl Engine {
+    /// Drains up to `horizon` repeatedly until no more completions appear
+    /// (completions may submit follow-up work that itself completes within
+    /// the horizon).
+    fn pump(&mut self, horizon: Picos) {
+        loop {
+            let done = self.mem.drain_until(horizon);
+            if done.is_empty() {
+                break;
+            }
+            for c in done {
+                self.handle_completion(c);
+            }
+        }
+    }
+
+    fn handle_completion(&mut self, c: Completion) {
+        let owner = self
+            .owners
+            .remove(&c.token)
+            .expect("completion for unknown token");
+        match owner {
+            TokenOwner::Foreground { arrival } => {
+                self.total_stall += c.completion.saturating_sub(arrival);
+            }
+            TokenOwner::MigrationRead { mig } => {
+                let (submit_writes, at) = {
+                    let e = &mut self.migs[mig];
+                    e.pending -= 1;
+                    e.latest = e.latest.max(c.completion);
+                    if e.pending == 0 && !e.reads_done {
+                        e.reads_done = true;
+                        (true, e.latest)
+                    } else {
+                        (false, Picos::ZERO)
+                    }
+                };
+                if submit_writes {
+                    let m = self.migs[mig].m;
+                    let mut n = 0;
+                    for line in m.line_start..m.line_start + m.line_count {
+                        for frame in [m.frame_a, m.frame_b] {
+                            let tok = self.mem.submit_with_priority(
+                                frame,
+                                line,
+                                AccessKind::Write,
+                                at,
+                                Priority::Background,
+                            );
+                            self.owners.insert(tok, TokenOwner::MigrationWrite { mig });
+                            n += 1;
+                        }
+                    }
+                    self.migs[mig].pending = n;
+                }
+            }
+            TokenOwner::MigrationWrite { mig } => {
+                let finished = {
+                    let e = &mut self.migs[mig];
+                    e.pending -= 1;
+                    e.latest = e.latest.max(c.completion);
+                    if e.pending == 0 {
+                        e.done = true;
+                        e.finish = e.latest;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if finished {
+                    let finish = self.migs[mig].finish;
+                    let m = self.migs[mig].m;
+                    for page in [m.page_a, m.page_b] {
+                        if let Some(PageState::Migrating(idx)) = self.blocked.get(&page) {
+                            if *idx == mig {
+                                self.blocked.insert(page, PageState::BlockedUntil(finish));
+                            }
+                        }
+                    }
+                    let waiters = std::mem::take(&mut self.migs[mig].waiters);
+                    for mut w in waiters {
+                        w.issue = w.issue.max(finish);
+                        self.dispatch(w);
+                    }
+                    // Chain: launch the lane's next queued migration.
+                    if let Some(lane) = lane_of(&m) {
+                        let next = {
+                            let q = self.lanes.get_mut(&lane).expect("lane exists");
+                            debug_assert_eq!(q.front(), Some(&mig));
+                            q.pop_front();
+                            q.front().copied()
+                        };
+                        if let Some(next) = next {
+                            self.start_migration(next, finish);
+                        }
+                    }
+                }
+            }
+            TokenOwner::MetaFetch { mut waiter } => {
+                waiter.issue = waiter.issue.max(c.completion);
+                waiter.needs_meta = false;
+                self.dispatch(waiter);
+            }
+        }
+    }
+
+    /// Issues a waiter: via a metadata fetch if one is still needed,
+    /// otherwise as the foreground access itself.
+    fn dispatch(&mut self, w: Waiter) {
+        if w.needs_meta {
+            let meta_frame = self.meta_backing_frame(w.page);
+            let tok = self
+                .mem
+                .submit(meta_frame, 0, AccessKind::Read, w.issue);
+            self.owners.insert(tok, TokenOwner::MetaFetch { waiter: w });
+            self.injected_meta += 1;
+        } else {
+            let tok = self.mem.submit(w.frame, w.line, w.kind, w.issue);
+            self.owners.insert(
+                tok,
+                TokenOwner::Foreground {
+                    arrival: w.arrival,
+                },
+            );
+        }
+    }
+
+    /// Registers a migration: its pages block immediately (the remap is
+    /// already live, so their data is logically in transit), but the data
+    /// movement itself queues behind its lane — a pod migrates one page at
+    /// a time.
+    fn enqueue_migration(&mut self, m: Migration, at: Picos) {
+        let mig = self.migs.len();
+        self.migs.push(MigExec {
+            m,
+            pending: 0,
+            latest: at,
+            started: false,
+            reads_done: false,
+            done: false,
+            finish: Picos::MAX,
+            waiters: Vec::new(),
+        });
+        self.injected_migration += m.injected_requests();
+        self.blocked.insert(m.page_a, PageState::Migrating(mig));
+        self.blocked.insert(m.page_b, PageState::Migrating(mig));
+        match lane_of(&m) {
+            None => self.start_migration(mig, at),
+            Some(lane) => {
+                let q = self.lanes.entry(lane).or_default();
+                q.push_back(mig);
+                if q.len() == 1 {
+                    self.start_migration(mig, at);
+                }
+            }
+        }
+    }
+
+    /// Launches a migration's read phase.
+    fn start_migration(&mut self, mig: usize, at: Picos) {
+        let m = self.migs[mig].m;
+        let mut pending = 0;
+        for line in m.line_start..m.line_start + m.line_count {
+            for frame in [m.frame_a, m.frame_b] {
+                let tok = self.mem.submit_with_priority(
+                    frame,
+                    line,
+                    AccessKind::Read,
+                    at,
+                    Priority::Background,
+                );
+                self.owners.insert(tok, TokenOwner::MigrationRead { mig });
+                pending += 1;
+            }
+        }
+        let e = &mut self.migs[mig];
+        e.started = true;
+        e.pending = pending;
+        e.latest = at;
+    }
+
+    /// Routes a foreground access according to its page's blocking state.
+    ///
+    /// Three regimes per the pod's sequential migration driver:
+    /// * swap not yet started (lane-queued): the data still sits at its old
+    ///   frame — service from there immediately, no delay;
+    /// * swap in flight: delay until it completes (paper §4.3: "requests
+    ///   that arrive while migrations are being performed have to be
+    ///   delayed to ensure functionally correct memory behavior");
+    /// * swap finished: accesses ordered before the finish wait for it.
+    fn admit(&mut self, page: PageId, w: Waiter) {
+        match self.blocked.get(&page) {
+            Some(PageState::Migrating(idx)) if !self.migs[*idx].started => {
+                let m = &self.migs[*idx].m;
+                let mut w = w;
+                w.frame = if page == m.page_a { m.frame_a } else { m.frame_b };
+                self.dispatch(w);
+            }
+            Some(PageState::Migrating(idx)) if !self.migs[*idx].done => {
+                self.migs[*idx].waiters.push(w);
+            }
+            Some(PageState::Migrating(idx)) => {
+                let finish = self.migs[*idx].finish;
+                let mut w = w;
+                w.issue = w.issue.max(finish);
+                self.dispatch(w);
+            }
+            Some(PageState::BlockedUntil(t)) => {
+                let mut w = w;
+                w.issue = w.issue.max(*t);
+                self.dispatch(w);
+            }
+            None => self.dispatch(w),
+        }
+    }
+
+    /// The backing-store frame holding a metadata entry: a slice of fast
+    /// memory, spread by a multiplicative hash (the paper partitions part of
+    /// stacked memory as each mechanism's backing store).
+    fn meta_backing_frame(&self, page: PageId) -> FrameId {
+        let fast = self.mem.layout().fast_frames.max(1);
+        FrameId(page.0.wrapping_mul(0x9E3779B97F4A7C15) % fast)
+    }
+}
+
+/// A configured simulator, ready to run one trace.
+///
+/// See the crate-level example. A `Simulator` is single-use: [`run`]
+/// consumes it (manager and memory state are not reusable across traces).
+///
+/// [`run`]: Simulator::run
+pub struct Simulator {
+    cfg: SimConfig,
+    mgr: Box<dyn MemoryManager>,
+    mem: MemorySystem,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("manager", &self.cfg.manager)
+            .field("geometry", &self.cfg.mgr.geometry)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is invalid for the chosen
+    /// manager (e.g. non-integral fast:slow ratio for THM/CAMEO).
+    pub fn new(cfg: SimConfig) -> Result<Self, SimError> {
+        let layout = cfg.layout();
+        Self::with_layout(cfg, layout)
+    }
+
+    /// Builds a simulator over an explicit memory layout (e.g. to override
+    /// the channel interleaving); the layout must describe the same frame
+    /// counts as `cfg.layout()` would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as [`Simulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout's frame counts disagree with the configuration.
+    pub fn with_layout(
+        cfg: SimConfig,
+        layout: mempod_dram::MemLayout,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        assert_eq!(
+            layout.total_frames(),
+            cfg.layout().total_frames(),
+            "layout must cover the configured geometry"
+        );
+        let mgr = build_manager(cfg.manager, &cfg.mgr);
+        let mem = MemorySystem::new(layout);
+        Ok(Simulator { cfg, mgr, mem })
+    }
+
+    /// Runs the trace to completion and reports metrics.
+    pub fn run(mut self, trace: &Trace) -> SimReport {
+        let mut report = SimReport::new(trace.name(), self.cfg.manager);
+        report.requests = trace.len() as u64;
+
+        let mut prune_watermark = 8192usize;
+        let mut eng = Engine {
+            mem: self.mem,
+            owners: HashMap::new(),
+            migs: Vec::new(),
+            blocked: HashMap::new(),
+            lanes: HashMap::new(),
+            total_stall: Picos::ZERO,
+            injected_migration: 0,
+            injected_meta: 0,
+        };
+
+        for req in trace.requests() {
+            eng.pump(req.arrival);
+
+            let outcome = self.mgr.on_access(req);
+            for m in outcome.migrations {
+                eng.enqueue_migration(m, req.arrival);
+            }
+
+            let w = Waiter {
+                arrival: req.arrival,
+                issue: req.arrival + outcome.stall,
+                frame: outcome.frame,
+                line: outcome.line_in_page,
+                kind: req.kind,
+                needs_meta: outcome.meta_miss,
+                page: req.addr.page(),
+            };
+            eng.admit(req.addr.page(), w);
+
+            if eng.blocked.len() >= prune_watermark {
+                let migs = &eng.migs;
+                let now = req.arrival;
+                eng.blocked.retain(|_, s| match s {
+                    PageState::Migrating(idx) => !migs[*idx].done,
+                    PageState::BlockedUntil(t) => *t > now,
+                });
+                // Amortize: if most entries are still live, back off so the
+                // prune stays O(1) amortized per request.
+                prune_watermark = (eng.blocked.len() * 2).max(8192);
+            }
+        }
+
+        // Flush: completions may spawn write phases and parked accesses.
+        eng.pump(Picos::MAX);
+        assert!(eng.owners.is_empty(), "requests lost in the memory system");
+        debug_assert!(eng.migs.iter().all(|e| e.done && e.waiters.is_empty()));
+
+        report.total_stall = eng.total_stall;
+        report.duration = trace.duration();
+        report.migration = self.mgr.migration_stats().clone();
+        report.meta_cache = self.mgr.meta_cache_stats();
+        report.injected_migration_requests = eng.injected_migration;
+        report.injected_meta_requests = eng.injected_meta;
+        report.mem_stats = eng.mem.stats();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mempod_core::ManagerKind;
+    use mempod_trace::{TraceGenerator, WorkloadSpec};
+    use mempod_types::SystemConfig;
+
+    fn demo_trace(n: usize) -> Trace {
+        TraceGenerator::new(WorkloadSpec::hotcold_demo(), 42)
+            .take_requests(n, &SystemConfig::tiny().geometry)
+    }
+
+    fn run(kind: ManagerKind, n: usize) -> SimReport {
+        let cfg = SimConfig::new(SystemConfig::tiny(), kind);
+        Simulator::new(cfg).expect("valid").run(&demo_trace(n))
+    }
+
+    #[test]
+    fn every_manager_completes_a_short_trace() {
+        for kind in ManagerKind::all() {
+            let r = run(kind, 3_000);
+            assert_eq!(r.requests, 3_000, "{kind}");
+            assert!(r.ammat_ps() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn hbm_only_beats_ddr_only() {
+        let hbm = run(ManagerKind::HbmOnly, 5_000);
+        let ddr = run(ManagerKind::DdrOnly, 5_000);
+        assert!(
+            hbm.ammat_ps() < ddr.ammat_ps(),
+            "hbm={} ddr={}",
+            hbm.ammat_ps(),
+            ddr.ammat_ps()
+        );
+    }
+
+    #[test]
+    fn mempod_improves_on_no_migration_for_hot_cold() {
+        // Long enough to amortize the warm-up epochs in which the hot set
+        // migrates up (cumulative AMMAT includes that transient).
+        let pod = run(ManagerKind::MemPod, 300_000);
+        let tlm = run(ManagerKind::NoMigration, 300_000);
+        assert!(pod.migration.migrations > 0);
+        assert!(
+            pod.ammat_ps() < tlm.ammat_ps(),
+            "mempod={} tlm={}",
+            pod.ammat_ps(),
+            tlm.ammat_ps()
+        );
+    }
+
+    #[test]
+    fn migration_traffic_is_accounted() {
+        let r = run(ManagerKind::MemPod, 40_000);
+        assert_eq!(
+            r.injected_migration_requests,
+            r.migration.migrations * 128
+        );
+        assert_eq!(r.migration.bytes_moved, r.migration.migrations * 4096);
+    }
+
+    #[test]
+    fn cameo_moves_most_data() {
+        let cameo = run(ManagerKind::Cameo, 20_000);
+        let pod = run(ManagerKind::MemPod, 20_000);
+        assert!(cameo.migration.migrations > pod.migration.migrations * 2);
+    }
+
+    #[test]
+    fn fast_service_fraction_grows_under_mempod() {
+        let pod = run(ManagerKind::MemPod, 40_000);
+        let tlm = run(ManagerKind::NoMigration, 40_000);
+        assert!(
+            pod.mem_stats.fast_service_fraction() > tlm.mem_stats.fast_service_fraction(),
+            "pod={} tlm={}",
+            pod.mem_stats.fast_service_fraction(),
+            tlm.mem_stats.fast_service_fraction()
+        );
+    }
+
+    #[test]
+    fn meta_cache_adds_overhead() {
+        let mut sys = SystemConfig::tiny();
+        let free = Simulator::new(SimConfig::new(sys.clone(), ManagerKind::MemPod))
+            .unwrap()
+            .run(&demo_trace(20_000));
+        sys.metadata_cache_bytes = Some(16 << 10);
+        let cached = Simulator::new(SimConfig::new(sys, ManagerKind::MemPod))
+            .unwrap()
+            .run(&demo_trace(20_000));
+        assert!(cached.injected_meta_requests > 0);
+        assert!(cached.meta_cache.expect("stats").lookups > 0);
+        assert!(
+            cached.ammat_ps() > free.ammat_ps(),
+            "cached={} free={}",
+            cached.ammat_ps(),
+            free.ammat_ps()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let a = run(ManagerKind::Thm, 10_000);
+        let b = run(ManagerKind::Thm, 10_000);
+        assert_eq!(a.total_stall, b.total_stall);
+        assert_eq!(a.migration.migrations, b.migration.migrations);
+    }
+}

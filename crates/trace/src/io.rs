@@ -1,0 +1,148 @@
+//! Compact binary trace (de)serialization.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic   4 bytes  "MPT1"
+//! nlen    2 bytes  workload-name length
+//! name    nlen bytes (UTF-8)
+//! count   8 bytes  number of records
+//! record  18 bytes x count:
+//!     arrival_ps  u64
+//!     addr        u64
+//!     flags       u8   (bit 0: write)
+//!     core        u8
+//! ```
+//!
+//! Generated traces are deterministic from `(spec, seed)`, so persisting
+//! them is optional — but it lets the experiment harness reuse one trace
+//! across the Fig. 6/7/8/9/10 sweeps without regeneration.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mempod_types::{AccessKind, Addr, CoreId, MemRequest, Picos};
+
+use crate::trace::Trace;
+
+const MAGIC: &[u8; 4] = b"MPT1";
+const RECORD_BYTES: usize = 18;
+
+/// Serializes a trace to a writer.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    let name = trace.name().as_bytes();
+    let mut buf = BytesMut::with_capacity(14 + name.len() + trace.len() * RECORD_BYTES);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(u16::try_from(name.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "workload name too long")
+    })?);
+    buf.put_slice(name);
+    buf.put_u64_le(trace.len() as u64);
+    for r in trace.requests() {
+        buf.put_u64_le(r.arrival.as_ps());
+        buf.put_u64_le(r.addr.0);
+        buf.put_u8(u8::from(r.kind.is_write()));
+        buf.put_u8(r.core.0);
+    }
+    w.write_all(&buf)
+}
+
+/// Deserializes a trace from a reader.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, or a truncated stream.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    let fail = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    if buf.remaining() < 2 {
+        return Err(fail("truncated header"));
+    }
+    let nlen = buf.get_u16_le() as usize;
+    if buf.remaining() < nlen + 8 {
+        return Err(fail("truncated name"));
+    }
+    let name = String::from_utf8(buf.copy_to_bytes(nlen).to_vec())
+        .map_err(|_| fail("name is not utf-8"))?;
+    let count = buf.get_u64_le() as usize;
+    if buf.remaining() < count * RECORD_BYTES {
+        return Err(fail("truncated records"));
+    }
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        let arrival = Picos(buf.get_u64_le());
+        let addr = Addr(buf.get_u64_le());
+        let flags = buf.get_u8();
+        let core = CoreId(buf.get_u8());
+        let kind = if flags & 1 == 1 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        requests.push(MemRequest::new(addr, kind, arrival, core));
+    }
+    Ok(Trace::new(name, requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceGenerator, WorkloadSpec};
+    use mempod_types::Geometry;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let spec = WorkloadSpec::hotcold_demo();
+        let t = TraceGenerator::new(spec, 3).take_requests(2000, &Geometry::tiny());
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.requests(), t.requests());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new("empty", vec![]);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert!(back.is_empty());
+        assert_eq!(back.name(), "empty");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE1234"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let spec = WorkloadSpec::hotcold_demo();
+        let t = TraceGenerator::new(spec, 3).take_requests(100, &Geometry::tiny());
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).expect("write");
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn record_size_is_compact() {
+        let spec = WorkloadSpec::hotcold_demo();
+        let t = TraceGenerator::new(spec, 3).take_requests(1000, &Geometry::tiny());
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).expect("write");
+        assert!(buf.len() <= 32 + 1000 * RECORD_BYTES);
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic SPEC2006-like multi-programmed memory traces.
+//!
+//! The paper feeds Ramulator with memory-request traces captured by running
+//! 8 SPEC CPU2006 benchmarks on a simulated 8-core CPU (Sniper). Those
+//! traces are not redistributable, so this crate provides the substitution
+//! documented in `DESIGN.md` §4: parameterized workload models that
+//! reproduce the *page-level* properties migration mechanisms react to —
+//!
+//! * **footprint** relative to the machine (does it fit in HBM? exceed it?),
+//! * **skew**: a small super-hot page set, a warm set, and a cold tail,
+//! * **access style**: streaming, looping, uniform random, pointer-chasing,
+//!   or a sliding window (lbm's "constant work per page"),
+//! * **phase changes**: periodic rotation of the hot sets,
+//! * write ratio, spatial locality within a page, and request intensity.
+//!
+//! One named [`BenchProfile`] exists per benchmark in the paper's Table 3;
+//! [`WorkloadSpec`] assembles them into the 17 homogeneous workloads and the
+//! 12 mixes, and [`TraceGenerator`] turns a spec into a deterministic,
+//! seeded, time-ordered [`Trace`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mempod_trace::{TraceGenerator, WorkloadSpec};
+//! use mempod_types::Geometry;
+//!
+//! let spec = WorkloadSpec::homogeneous("libquantum").expect("known benchmark");
+//! let trace = TraceGenerator::new(spec, 7).take_requests(10_000, &Geometry::tiny());
+//! assert_eq!(trace.len(), 10_000);
+//! // Arrivals are non-decreasing: ready to feed the simulator.
+//! assert!(trace.requests().windows(2).all(|w| w[0].arrival <= w[1].arrival));
+//! ```
+
+pub mod generator;
+pub mod io;
+pub mod mixes;
+pub mod profile;
+pub mod stats;
+pub mod trace;
+
+pub use generator::{TraceGenerator, WorkloadSpec};
+pub use mixes::{mix_composition, mix_names, MIXES};
+pub use profile::{AccessStyle, BenchProfile, BENCHMARKS};
+pub use stats::TraceStats;
+pub use trace::Trace;

@@ -1,0 +1,266 @@
+//! The paper's Table 3: composition of the 12 mixed workloads.
+//!
+//! The table is reproduced verbatim (✓ = one copy, ✓✓ = two copies). Some
+//! rows of the published table do not sum to exactly 8 benchmarks; since the
+//! simulated CPU has 8 cores, [`mix_composition`] normalizes each mix
+//! deterministically — flatten in row order with multiplicity, truncate to
+//! 8, and if fewer than 8 are listed, cycle from the beginning. The
+//! normalization is part of the reproduction's documented methodology.
+
+use crate::profile::BenchProfile;
+
+/// Table 3 verbatim: `(mix name, [(benchmark, copies)])`.
+pub static MIXES: &[(&str, &[(&str, u8)])] = &[
+    (
+        "mix1",
+        &[
+            ("astar", 1),
+            ("gcc", 1),
+            ("gems", 1),
+            ("lbm", 1),
+            ("leslie", 1),
+            ("mcf", 1),
+            ("milc", 1),
+            ("omnetpp", 1),
+            ("zeusmp", 1),
+        ],
+    ),
+    (
+        "mix2",
+        &[
+            ("gcc", 1),
+            ("gems", 1),
+            ("leslie", 1),
+            ("mcf", 1),
+            ("omnetpp", 1),
+            ("sphinx", 1),
+            ("zeusmp", 1),
+        ],
+    ),
+    (
+        "mix3",
+        &[
+            ("gcc", 1),
+            ("lbm", 1),
+            ("leslie", 1),
+            ("libquantum", 1),
+            ("mcf", 1),
+            ("milc", 1),
+            ("sphinx", 1),
+        ],
+    ),
+    (
+        "mix4",
+        &[
+            ("bzip", 1),
+            ("dealii", 2),
+            ("gcc", 1),
+            ("mcf", 2),
+            ("milc", 1),
+            ("soplex", 1),
+        ],
+    ),
+    (
+        "mix5",
+        &[
+            ("bwaves", 1),
+            ("bzip", 2),
+            ("cactus", 1),
+            ("dealii", 2),
+            ("mcf", 1),
+            ("xalanc", 1),
+        ],
+    ),
+    (
+        "mix6",
+        &[
+            ("astar", 1),
+            ("bwaves", 1),
+            ("bzip", 1),
+            ("gcc", 2),
+            ("lbm", 1),
+            ("libquantum", 1),
+            ("mcf", 1),
+            ("soplex", 1),
+            ("zeusmp", 1),
+        ],
+    ),
+    (
+        "mix7",
+        &[
+            ("astar", 1),
+            ("bwaves", 2),
+            ("bzip", 2),
+            ("dealii", 1),
+            ("gems", 1),
+            ("leslie", 1),
+            ("soplex", 1),
+            ("xalanc", 1),
+        ],
+    ),
+    (
+        "mix8",
+        &[
+            ("astar", 2),
+            ("bwaves", 1),
+            ("bzip", 1),
+            ("cactus", 1),
+            ("dealii", 1),
+            ("omnetpp", 1),
+            ("xalanc", 1),
+            ("zeusmp", 1),
+        ],
+    ),
+    (
+        "mix9",
+        &[
+            ("bwaves", 1),
+            ("dealii", 1),
+            ("gems", 1),
+            ("leslie", 1),
+            ("sphinx", 1),
+        ],
+    ),
+    (
+        "mix10",
+        &[
+            ("astar", 2),
+            ("gcc", 2),
+            ("lbm", 1),
+            ("libquantum", 2),
+            ("mcf", 1),
+            ("milc", 1),
+            ("soplex", 1),
+            ("zeusmp", 1),
+        ],
+    ),
+    (
+        "mix11",
+        &[
+            ("bzip", 2),
+            ("gems", 1),
+            ("leslie", 2),
+            ("omnetpp", 1),
+            ("sphinx", 1),
+        ],
+    ),
+    (
+        "mix12",
+        &[
+            ("bwaves", 1),
+            ("cactus", 2),
+            ("dealii", 2),
+            ("xalanc", 1),
+        ],
+    ),
+];
+
+/// Names of all mixes, in order.
+pub fn mix_names() -> Vec<&'static str> {
+    MIXES.iter().map(|(n, _)| *n).collect()
+}
+
+/// The normalized 8-core composition of a mix, or `None` if unknown.
+pub fn mix_composition(name: &str) -> Option<Vec<&'static BenchProfile>> {
+    let (_, rows) = MIXES.iter().find(|(n, _)| *n == name)?;
+    let mut flat: Vec<&'static BenchProfile> = Vec::new();
+    for (bench, copies) in rows.iter() {
+        let p = BenchProfile::by_name(bench).expect("table references known benchmarks");
+        for _ in 0..*copies {
+            flat.push(p);
+        }
+    }
+    assert!(!flat.is_empty(), "table rows are never empty");
+    // Normalize to exactly 8 cores: truncate or cycle.
+    let mut out = Vec::with_capacity(8);
+    let mut i = 0;
+    while out.len() < 8 {
+        out.push(flat[i % flat.len()]);
+        i += 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_mixes_each_eight_cores() {
+        assert_eq!(mix_names().len(), 12);
+        for name in mix_names() {
+            let comp = mix_composition(name).expect("mix exists");
+            assert_eq!(comp.len(), 8, "{name}");
+        }
+    }
+
+    #[test]
+    fn mix4_matches_table_exactly() {
+        // The one row that already sums to 8: no normalization applied.
+        let names: Vec<&str> = mix_composition("mix4")
+            .unwrap()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["bzip", "dealii", "dealii", "gcc", "mcf", "mcf", "milc", "soplex"]
+        );
+    }
+
+    #[test]
+    fn short_mixes_cycle() {
+        // mix12 lists 6 slots -> the first two repeat.
+        let names: Vec<&str> = mix_composition("mix12")
+            .unwrap()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["bwaves", "cactus", "cactus", "dealii", "dealii", "xalanc", "bwaves", "cactus"]
+        );
+    }
+
+    #[test]
+    fn long_mixes_truncate() {
+        // mix10 lists 11 slots -> only the first 8 run.
+        let names: Vec<&str> = mix_composition("mix10")
+            .unwrap()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["astar", "astar", "gcc", "gcc", "lbm", "libquantum", "libquantum", "mcf"]
+        );
+    }
+
+    #[test]
+    fn unknown_mix_is_none() {
+        assert!(mix_composition("mix13").is_none());
+    }
+
+    #[test]
+    fn every_table_entry_is_a_known_benchmark() {
+        for (_, rows) in MIXES {
+            for (bench, copies) in rows.iter() {
+                assert!(BenchProfile::by_name(bench).is_some(), "{bench}");
+                assert!(*copies >= 1 && *copies <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn mix9_contains_the_papers_interesting_benchmarks() {
+        // Fig. 3 singles out mix9; its composition must include bwaves and
+        // gems per Table 3.
+        let names: Vec<&str> = mix_composition("mix9")
+            .unwrap()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        assert!(names.contains(&"bwaves"));
+        assert!(names.contains(&"gems"));
+    }
+}

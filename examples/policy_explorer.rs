@@ -1,0 +1,45 @@
+//! Explore MemPod's design space interactively: epoch length x MEA entry
+//! count on one workload (a pocket version of the paper's Figure 6).
+//!
+//! Run: `cargo run --release --example policy_explorer -- gcc`
+
+use mempod_suite::core::ManagerKind;
+use mempod_suite::sim::{SimConfig, Simulator};
+use mempod_suite::trace::{TraceGenerator, WorkloadSpec};
+use mempod_suite::types::{Picos, SystemConfig};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
+    let spec = WorkloadSpec::homogeneous(&workload)
+        .or_else(|| WorkloadSpec::mix(&workload))
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+
+    let system = SystemConfig::tiny();
+    let trace = TraceGenerator::new(spec, 3).take_requests(400_000, &system.geometry);
+
+    let tlm = Simulator::new(SimConfig::new(system.clone(), ManagerKind::NoMigration))
+        .expect("valid config")
+        .run(&trace);
+    println!("== {workload}: MemPod AMMAT normalized to TLM ({:.1} ns) ==", tlm.ammat_ns());
+
+    let epochs_us = [25u64, 50, 100, 250];
+    let counters = [16usize, 64, 256];
+    print!("{:>10}", "epoch");
+    for c in counters {
+        print!(" {c:>8}");
+    }
+    println!(" (MEA entries)");
+    for epoch in epochs_us {
+        print!("{:>8}us", epoch);
+        for c in counters {
+            let mut cfg = SimConfig::new(system.clone(), ManagerKind::MemPod);
+            cfg.mgr.epoch = Picos::from_us(epoch);
+            cfg.mgr.mea_entries = c;
+            let r = Simulator::new(cfg).expect("valid config").run(&trace);
+            print!(" {:>8.3}", r.ammat_ps() / tlm.ammat_ps());
+        }
+        println!();
+    }
+    println!("\nLower is better; the paper finds 64 counters x 50us optimal, with");
+    println!("good cells along the constant-migration-rate diagonal.");
+}

@@ -1,0 +1,48 @@
+//! MEA vs Full Counters on your workload of choice: prediction accuracy and
+//! hardware cost (the paper's §3 in example form).
+//!
+//! Run: `cargo run --release --example tracker_shootout -- xalanc`
+
+use mempod_suite::tracker::{prediction_study, ActivityTracker, FullCounters, MeaTracker};
+use mempod_suite::trace::{TraceGenerator, WorkloadSpec};
+use mempod_suite::types::SystemConfig;
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "xalanc".to_string());
+    let spec = WorkloadSpec::homogeneous(&workload)
+        .or_else(|| WorkloadSpec::mix(&workload))
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+
+    let system = SystemConfig::tiny();
+    let trace = TraceGenerator::new(spec, 3).take_requests(500_000, &system.geometry);
+    let pages = trace.page_stream();
+
+    // The paper's §3 setup: 5500-request intervals, 128 MEA entries.
+    let report = prediction_study(&pages, 5500, 128, 16);
+    println!("== {workload}: predicting next-interval hot pages ==");
+    println!("{:>12} {:>10} {:>10}", "tier", "MEA", "FullCounters");
+    for tier in 0..3 {
+        println!(
+            "{:>12} {:>9.1}% {:>9.1}%",
+            format!("ranks {}-{}", tier * 10 + 1, tier * 10 + 10),
+            report.mea_prediction.fraction(tier) * 100.0,
+            report.fc_prediction.fraction(tier) * 100.0,
+        );
+    }
+    println!(
+        "(MEA issued {:.0} predictions/interval on average over {} intervals)",
+        report.mean_mea_predictions, report.intervals
+    );
+
+    // Hardware cost of each tracker for this machine.
+    let geo = system.geometry;
+    let tag_bits = 64 - (geo.pages_per_pod() - 1).leading_zeros();
+    let mea = MeaTracker::paper_default();
+    let fc = FullCounters::paper_default(geo.total_pages());
+    println!("\nhardware cost at {geo}:");
+    println!(
+        "  MEA (64 entries x 4 pods): {} B",
+        4 * mea.storage_bits(tag_bits) / 8
+    );
+    println!("  Full counters:             {} KB", fc.storage_bits(0) / 8 / 1024);
+}

@@ -1,0 +1,27 @@
+#!/bin/bash
+# Regenerates every table and figure. Output: results/*.txt + results/*.json
+set -u
+cd "$(dirname "$0")"
+BIN=./target/release
+run() {
+    echo "=== $1 ($(date +%H:%M:%S)) ==="
+    $BIN/$1 "${@:2}" > results/$1.txt 2>results/$1.err
+    echo "    done ($(date +%H:%M:%S))"
+}
+run table1_costs
+run table2_config
+run table3_mixes
+run fig1_mea_counting
+run fig2_mea_prediction
+run fig3_prediction_detail
+run fig8_performance
+run fig6_epoch_counter_sweep
+run fig7_counter_width
+run fig9_cache_sensitivity
+run fig10_scalability
+run workload_atlas
+run ablation_pods
+run ablation_tracker
+run scaling_costs
+run ablation_interleave
+echo "ALL EXPERIMENTS COMPLETE"

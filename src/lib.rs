@@ -1,0 +1,40 @@
+//! # MemPod reproduction suite
+//!
+//! Facade crate re-exporting every component of the reproduction of
+//! *MemPod: A Clustered Architecture for Efficient and Scalable Migration in
+//! Flat Address Space Multi-level Memories* (HPCA 2017).
+//!
+//! The suite is organized as a workspace; this crate exists so examples,
+//! integration tests, and downstream users can depend on a single name:
+//!
+//! * [`types`] — addresses, pages, frames, time, geometry, configuration.
+//! * [`tracker`] — MEA / Full-Counters / competing-counter activity tracking
+//!   and the offline prediction-accuracy harness (paper §3).
+//! * [`dram`] — event-driven cycle-level DRAM timing model (HBM + DDR4).
+//! * [`trace`] — synthetic SPEC2006-like multi-programmed trace generation.
+//! * [`core`] — the MemPod architecture and the HMA / THM / CAMEO baselines.
+//! * [`sim`] — the full-system simulator and AMMAT metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mempod_suite::sim::{SimConfig, Simulator};
+//! use mempod_suite::core::ManagerKind;
+//! use mempod_suite::trace::{TraceGenerator, WorkloadSpec};
+//! use mempod_suite::types::SystemConfig;
+//!
+//! let mut system = SystemConfig::tiny();
+//! system.epoch = mempod_suite::types::Picos::from_us(50);
+//! let trace = TraceGenerator::new(WorkloadSpec::hotcold_demo(), 42)
+//!     .take_requests(20_000, &system.geometry);
+//! let cfg = SimConfig::new(system, ManagerKind::MemPod);
+//! let report = Simulator::new(cfg).expect("valid config").run(&trace);
+//! assert!(report.ammat_ps() > 0.0);
+//! ```
+
+pub use mempod_core as core;
+pub use mempod_dram as dram;
+pub use mempod_sim as sim;
+pub use mempod_trace as trace;
+pub use mempod_tracker as tracker;
+pub use mempod_types as types;

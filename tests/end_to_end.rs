@@ -1,0 +1,122 @@
+//! End-to-end integration: every manager drives a real multi-programmed
+//! trace through the full system simulator.
+
+use mempod_suite::core::ManagerKind;
+use mempod_suite::sim::{SimConfig, Simulator};
+use mempod_suite::trace::{TraceGenerator, WorkloadSpec};
+use mempod_suite::types::SystemConfig;
+
+fn trace(name: &str, n: usize) -> mempod_suite::trace::Trace {
+    let spec = WorkloadSpec::homogeneous(name)
+        .or_else(|| WorkloadSpec::mix(name))
+        .expect("known workload");
+    TraceGenerator::new(spec, 11).take_requests(n, &SystemConfig::tiny().geometry)
+}
+
+#[test]
+fn every_manager_survives_every_style_of_workload() {
+    // One workload per access style, short traces, all seven managers.
+    for workload in ["gcc", "bwaves", "lbm", "mcf", "mix9"] {
+        let t = trace(workload, 30_000);
+        for kind in ManagerKind::all() {
+            let cfg = SimConfig::new(SystemConfig::tiny(), kind);
+            let r = Simulator::new(cfg).expect("valid").run(&t);
+            assert_eq!(r.requests, 30_000, "{workload}/{kind}");
+            assert!(r.ammat_ps() > 0.0, "{workload}/{kind}");
+            assert!(r.total_stall.as_ps() > 0, "{workload}/{kind}");
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let t = trace("mix5", 40_000);
+    for kind in [ManagerKind::MemPod, ManagerKind::Cameo, ManagerKind::Hma] {
+        let run = |t: &mempod_suite::trace::Trace| {
+            Simulator::new(SimConfig::new(SystemConfig::tiny(), kind))
+                .expect("valid")
+                .run(t)
+        };
+        let a = run(&t);
+        let b = run(&t);
+        assert_eq!(a.total_stall, b.total_stall, "{kind}");
+        assert_eq!(a.migration.migrations, b.migration.migrations, "{kind}");
+        assert_eq!(a.mem_stats, b.mem_stats, "{kind}");
+    }
+}
+
+#[test]
+fn migration_traffic_matches_injected_requests() {
+    let t = trace("xalanc", 60_000);
+    for kind in [ManagerKind::MemPod, ManagerKind::Thm, ManagerKind::Cameo] {
+        let r = Simulator::new(SimConfig::new(SystemConfig::tiny(), kind))
+            .expect("valid")
+            .run(&t);
+        // A page swap injects 128 requests and moves 4 KB; a CAMEO line
+        // swap injects 4 and moves 128 B. Both satisfy requests = bytes/32.
+        assert_eq!(
+            r.injected_migration_requests,
+            r.migration.bytes_moved / 32,
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn ammat_denominator_is_the_original_request_count() {
+    // Same trace, manager with heavy injected traffic: the denominator must
+    // stay the trace length, so AMMAT == total_stall / len exactly.
+    let t = trace("gcc", 20_000);
+    let r = Simulator::new(SimConfig::new(SystemConfig::tiny(), ManagerKind::Cameo))
+        .expect("valid")
+        .run(&t);
+    let expect = r.total_stall.as_ps() as f64 / 20_000.0;
+    assert!((r.ammat_ps() - expect).abs() < 1e-9);
+}
+
+#[test]
+fn remap_stays_a_permutation_under_every_page_manager() {
+    use mempod_suite::core::{build_manager, ManagerConfig};
+    use std::collections::HashSet;
+
+    let t = trace("mix1", 50_000);
+    let cfg = ManagerConfig::tiny();
+    for kind in [ManagerKind::MemPod, ManagerKind::Hma, ManagerKind::Thm] {
+        let mut mgr = build_manager(kind, &cfg);
+        for req in t.requests() {
+            mgr.on_access(req);
+        }
+        // Sample a large set of pages: frames must be unique (injective).
+        let mut seen = HashSet::new();
+        for page in (0..cfg.geometry.total_pages()).step_by(7) {
+            let f = mgr.frame_of_page(mempod_suite::types::PageId(page));
+            assert!(
+                seen.insert(f),
+                "{kind}: frame {f} assigned to two pages"
+            );
+        }
+    }
+}
+
+#[test]
+fn future_system_widens_mempods_lead() {
+    // Fig. 10's core claim, in miniature: MemPod's advantage over TLM grows
+    // when the fast:slow latency differential grows.
+    let t = trace("gcc", 250_000);
+    let norm = |future: bool| {
+        let build = |kind| {
+            let cfg = SimConfig::new(SystemConfig::tiny(), kind);
+            let cfg = if future { cfg.into_future_system() } else { cfg };
+            Simulator::new(cfg).expect("valid").run(&t)
+        };
+        let tlm = build(ManagerKind::NoMigration);
+        let pod = build(ManagerKind::MemPod);
+        pod.ammat_ps() / tlm.ammat_ps()
+    };
+    let today = norm(false);
+    let future = norm(true);
+    assert!(
+        future < today,
+        "future normalized AMMAT {future:.3} should beat today's {today:.3}"
+    );
+}

@@ -1,0 +1,114 @@
+//! Shape-level reproduction checks: the qualitative relations the paper's
+//! evaluation rests on must hold on scaled-down runs.
+
+use mempod_suite::core::ManagerKind;
+use mempod_suite::sim::{SimConfig, SimReport, Simulator};
+use mempod_suite::trace::{TraceGenerator, WorkloadSpec};
+use mempod_suite::types::SystemConfig;
+
+fn run(workload: &str, kind: ManagerKind, n: usize) -> SimReport {
+    let spec = WorkloadSpec::homogeneous(workload)
+        .or_else(|| WorkloadSpec::mix(workload))
+        .expect("known workload");
+    let sys = SystemConfig::tiny();
+    let t = TraceGenerator::new(spec, 17).take_requests(n, &sys.geometry);
+    Simulator::new(SimConfig::new(sys, kind))
+        .expect("valid")
+        .run(&t)
+}
+
+#[test]
+fn hbm_only_is_the_lower_bound() {
+    for w in ["gcc", "mcf"] {
+        let hbm = run(w, ManagerKind::HbmOnly, 60_000);
+        for kind in [
+            ManagerKind::NoMigration,
+            ManagerKind::MemPod,
+            ManagerKind::Thm,
+        ] {
+            let r = run(w, kind, 60_000);
+            assert!(
+                hbm.ammat_ps() <= r.ammat_ps() * 1.02,
+                "{w}: HBM-only ({:.1}ns) must not lose to {kind} ({:.1}ns)",
+                hbm.ammat_ns(),
+                r.ammat_ns()
+            );
+        }
+    }
+}
+
+#[test]
+fn ddr_only_is_the_upper_bound() {
+    let w = "gcc";
+    let ddr = run(w, ManagerKind::DdrOnly, 60_000);
+    let tlm = run(w, ManagerKind::NoMigration, 60_000);
+    assert!(ddr.ammat_ps() > tlm.ammat_ps());
+}
+
+#[test]
+fn cameo_moves_the_most_data_mempod_divides_it_across_pods() {
+    // §6.3.2: CAMEO forces the most movement; MemPod's traffic is split
+    // between pods.
+    let cameo = run("gcc", ManagerKind::Cameo, 150_000);
+    let pod = run("gcc", ManagerKind::MemPod, 150_000);
+    let thm = run("gcc", ManagerKind::Thm, 150_000);
+    assert!(cameo.migration.migrations > pod.migration.migrations);
+    assert!(pod.migration.bytes_moved > thm.migration.bytes_moved);
+    let per_pod = &pod.migration.per_pod_bytes;
+    assert_eq!(per_pod.len(), 4);
+    assert!(per_pod.iter().all(|&b| b > 0), "all pods migrate: {per_pod:?}");
+    assert_eq!(per_pod.iter().sum::<u64>(), pod.migration.bytes_moved);
+}
+
+#[test]
+fn mempod_beats_tlm_on_skewed_workloads() {
+    // The headline: migration pays on hot/cold-skewed workloads. Averaged
+    // over two skewed workloads at warm-up-amortizing length.
+    let mut wins = 0;
+    for w in ["gcc", "cactus"] {
+        let tlm = run(w, ManagerKind::NoMigration, 250_000);
+        let pod = run(w, ManagerKind::MemPod, 250_000);
+        if pod.ammat_ps() < tlm.ammat_ps() {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 1, "MemPod lost to TLM on every skewed workload");
+}
+
+#[test]
+fn streaming_workload_punishes_migration() {
+    // bwaves (paper §6.3.2): a no-migration scheme outperforms migration.
+    let tlm = run("bwaves", ManagerKind::NoMigration, 150_000);
+    let pod = run("bwaves", ManagerKind::MemPod, 150_000);
+    assert!(
+        pod.ammat_ps() > tlm.ammat_ps() * 0.98,
+        "migration should not help a pure stream: pod={:.1}ns tlm={:.1}ns",
+        pod.ammat_ns(),
+        tlm.ammat_ns()
+    );
+    // And MemPod still moved data for nothing (wasted migrations).
+    assert!(pod.migration.migrations > 0);
+}
+
+#[test]
+fn mempod_raises_fast_tier_service_and_row_hits() {
+    let tlm = run("xalanc", ManagerKind::NoMigration, 150_000);
+    let pod = run("xalanc", ManagerKind::MemPod, 150_000);
+    assert!(pod.mem_stats.fast_service_fraction() > tlm.mem_stats.fast_service_fraction() + 0.1);
+    // Hot-page co-location in fast rows raises the row-buffer hit rate.
+    assert!(pod.row_hit_rate() > tlm.row_hit_rate());
+}
+
+#[test]
+fn libquantum_footprint_converges_into_fast_memory() {
+    // The working set fits in HBM: after migration, the large majority of
+    // requests are served from the fast tier.
+    let pod = run("libquantum", ManagerKind::MemPod, 250_000);
+    assert!(
+        pod.mem_stats.fast_service_fraction() > 0.5,
+        "fast fraction only {:.2}",
+        pod.mem_stats.fast_service_fraction()
+    );
+    let tlm = run("libquantum", ManagerKind::NoMigration, 250_000);
+    assert!(pod.ammat_ps() < tlm.ammat_ps());
+}
