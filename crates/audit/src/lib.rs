@@ -1,0 +1,22 @@
+//! Workspace guardrails for the MemPod reproduction suite.
+//!
+//! Two halves, sharing one crate so the rules and the machinery that
+//! enforces them version together:
+//!
+//! * [`lint`] — the static-analysis engine behind
+//!   `cargo run -p mempod-audit -- lint`: hot-path panic bans, lossy-cast
+//!   bans in address arithmetic, and doc/`Debug` coverage of the public
+//!   API, with a JSON report and a content-anchored allowlist.
+//! * [`runtime`] — the [`InvariantAuditor`] plus the
+//!   [`audit!`]/[`audit_invariant!`] macro family, which the migration
+//!   pipeline invokes at (sampled) epoch boundaries when built with the
+//!   `debug-invariants` feature: remap-table bijection per pod,
+//!   frame-ownership conservation across managers, monotonic simulated
+//!   time in the DRAM channels, and migration-count conservation between
+//!   tracker and migration engine.
+
+pub mod lint;
+pub mod runtime;
+
+pub use lint::{run_lint, Allowlist, LintReport, Violation};
+pub use runtime::InvariantAuditor;

@@ -1,0 +1,817 @@
+//! The workspace lint engine behind `cargo run -p mempod-audit -- lint`.
+//!
+//! Three rule families, all operating on comment- and string-stripped
+//! source so prose never trips a rule:
+//!
+//! * **hot-path-panic** — `.unwrap()`, `.expect(`, `panic!(`, `todo!(`
+//!   and `unimplemented!(` are forbidden in the migration pipeline's hot
+//!   modules (DRAM channel/mapper, simulator runner, manager core)
+//!   outside `#[cfg(test)]` regions. Hot paths return `Result`s;
+//!   panicking conveniences belong at crate surfaces and in tests.
+//! * **lossy-cast** — bare `as` casts to integer types are forbidden in
+//!   the address-arithmetic files; conversions must go through the
+//!   checked helpers in `mempod_types::convert` (or `From`/`try_from`),
+//!   so silent truncation of addresses can't happen.
+//! * **missing-docs** / **missing-debug** — every `pub` item in
+//!   `mempod-types` and `mempod-core` needs a doc comment, and every
+//!   `pub` struct/enum there needs `Debug` (derived or hand-written).
+//!
+//! Findings render as a machine-readable JSON report; grandfathered
+//! violations can be allowlisted in `audit.allowlist.json` at the
+//! workspace root.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde_json::{json, Value};
+
+/// The hot modules where panicking is banned.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/dram/src/channel.rs",
+    "crates/dram/src/mapper.rs",
+    "crates/sim/src/runner.rs",
+    "crates/core/src/manager.rs",
+    "crates/core/src/mempod.rs",
+];
+
+/// The address-arithmetic files where bare integer `as` casts are banned.
+const CAST_FILES: &[&str] = &[
+    "crates/types/src/addr.rs",
+    "crates/types/src/geometry.rs",
+    "crates/dram/src/mapper.rs",
+];
+
+/// Crate source roots whose `pub` API must be documented and `Debug`.
+const API_DIRS: &[&str] = &["crates/types/src", "crates/core/src"];
+
+/// Panicking constructs searched for on hot paths.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Integer cast targets that make an `as` cast potentially lossy.
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`hot-path-panic`, `lossy-cast`, `missing-docs`,
+    /// `missing-debug`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Whether an allowlist entry grandfathers this finding.
+    pub allowed: bool,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One grandfathered finding: matches violations in `file` for `rule`
+/// whose source line contains `line_contains` (content-anchored rather
+/// than line-number-anchored so unrelated edits don't invalidate it).
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Workspace-relative file the exemption applies to.
+    pub file: String,
+    /// Rule identifier the exemption applies to.
+    pub rule: String,
+    /// Substring the offending line must contain.
+    pub line_contains: String,
+}
+
+/// The grandfathered-violation allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist JSON: an array of
+    /// `{"file", "rule", "line_contains"}` objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or missing fields.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| format!("allowlist is not valid JSON: {e}"))?;
+        let Some(items) = v.as_array() else {
+            return Err("allowlist must be a JSON array".to_string());
+        };
+        let mut entries = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let field = |k: &str| {
+                item[k]
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("allowlist entry {i}: missing string field `{k}`"))
+            };
+            entries.push(AllowEntry {
+                file: field("file")?,
+                rule: field("rule")?,
+                line_contains: field("line_contains")?,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether this allowlist grandfathers the given finding.
+    pub fn permits(&self, file: &str, rule: &str, snippet: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.file == file && e.rule == rule && snippet.contains(&e.line_contains))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Result of one lint run.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Every finding, including allowlisted ones.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by the allowlist.
+    pub fn blocking(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.allowed)
+    }
+
+    /// Whether the tree passes (no non-allowlisted findings).
+    pub fn ok(&self) -> bool {
+        self.blocking().count() == 0
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> Value {
+        let violations: Vec<Value> = self
+            .violations
+            .iter()
+            .map(|v| {
+                json!({
+                    "file": v.file.clone(),
+                    "line": v.line,
+                    "rule": v.rule.clone(),
+                    "message": v.message.clone(),
+                    "snippet": v.snippet.clone(),
+                    "allowed": v.allowed,
+                })
+            })
+            .collect();
+        json!({
+            "tool": "mempod-audit",
+            "check": "lint",
+            "files_scanned": self.files_scanned,
+            "blocking": self.blocking().count(),
+            "allowlisted": self.violations.iter().filter(|v| v.allowed).count(),
+            "ok": self.ok(),
+            "violations": Value::Array(violations),
+        })
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+///
+/// Missing files are skipped silently only for the directory walk; the
+/// named hot-path/cast files produce a finding when absent, so the rule
+/// set can't rot when files move.
+pub fn run_lint(root: &Path, allowlist: &Allowlist) -> LintReport {
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for rel in HOT_PATH_FILES {
+        match read_rel(root, rel) {
+            Some(src) => {
+                files_scanned += 1;
+                check_hot_path(rel, &src, &mut violations);
+            }
+            None => violations.push(missing_file(rel, "hot-path-panic")),
+        }
+    }
+    for rel in CAST_FILES {
+        match read_rel(root, rel) {
+            Some(src) => {
+                files_scanned += 1;
+                check_casts(rel, &src, &mut violations);
+            }
+            None => violations.push(missing_file(rel, "lossy-cast")),
+        }
+    }
+    for dir in API_DIRS {
+        for path in rust_files_under(&root.join(dir)) {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if let Ok(src) = std::fs::read_to_string(&path) {
+                files_scanned += 1;
+                check_api_surface(&rel, &src, &mut violations);
+            }
+        }
+    }
+
+    for v in &mut violations {
+        v.allowed = allowlist.permits(&v.file, &v.rule, &v.snippet);
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    LintReport {
+        violations,
+        files_scanned,
+    }
+}
+
+fn missing_file(rel: &str, rule: &str) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line: 0,
+        rule: rule.to_string(),
+        message: "file named in the lint rule set does not exist".to_string(),
+        snippet: String::new(),
+        allowed: false,
+    }
+}
+
+fn read_rel(root: &Path, rel: &str) -> Option<String> {
+    std::fs::read_to_string(root.join(rel)).ok()
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/// Replaces comments and string/char literal contents with spaces
+/// (newlines preserved), so rules only ever match real code. Handles line
+/// and nested block comments, ordinary/raw/byte strings, char literals,
+/// and lifetimes.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, bytes: &[u8]| {
+        for &c in bytes {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        if b[i..].starts_with(b"//") {
+            let end = memchr_from(b, i, b'\n').unwrap_or(b.len());
+            blank(&mut out, &b[i..end]);
+            i = end;
+        } else if b[i..].starts_with(b"/*") {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j..].starts_with(b"/*") {
+                    depth += 1;
+                    j += 2;
+                } else if b[j..].starts_with(b"*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, &b[i..j]);
+            i = j;
+        } else if b[i] == b'r'
+            && !prev_is_ident(b, i)
+            && matches!(b.get(i + 1), Some(b'"') | Some(b'#'))
+        {
+            // Raw string r"..." / r#"..."#.
+            let mut hashes = 0usize;
+            let mut j = i + 1;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) != Some(&b'"') {
+                out.push(b[i]);
+                i += 1;
+                continue;
+            }
+            out.push(b'r');
+            blank(&mut out, &b[i + 1..j + 1]);
+            j += 1;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            let end = find_sub(b, j, &closer).unwrap_or(b.len());
+            blank(&mut out, &b[j..(end + closer.len()).min(b.len())]);
+            i = (end + closer.len()).min(b.len());
+        } else if b[i] == b'"' {
+            out.push(b'"');
+            let mut j = i + 1;
+            while j < b.len() {
+                if b[j] == b'\\' {
+                    j += 2;
+                } else if b[j] == b'"' {
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = (j + 1).min(b.len());
+            blank(&mut out, &b[i + 1..end]);
+            i = end;
+        } else if b[i] == b'\'' {
+            // Char literal vs lifetime.
+            let is_char = match b.get(i + 1) {
+                Some(b'\\') => true,
+                Some(_) => {
+                    // 'x' is a char literal; 'a in "fn f<'a>" is not.
+                    // Look for a closing quote within the next few bytes
+                    // (covers multi-byte UTF-8 chars).
+                    (2..=5).any(|k| b.get(i + k) == Some(&b'\'')) && b.get(i + 2) != Some(&b':')
+                }
+                None => false,
+            };
+            if is_char {
+                out.push(b'\'');
+                let mut j = i + 1;
+                if b.get(j) == Some(&b'\\') {
+                    j += 2;
+                }
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                let end = (j + 1).min(b.len());
+                blank(&mut out, &b[i + 1..end]);
+                i = end;
+            } else {
+                out.push(b'\'');
+                i += 1;
+            }
+        } else {
+            out.push(b[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+fn memchr_from(b: &[u8], from: usize, needle: u8) -> Option<usize> {
+    b[from..]
+        .iter()
+        .position(|&c| c == needle)
+        .map(|p| p + from)
+}
+
+fn find_sub(b: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || from >= b.len() {
+        return None;
+    }
+    b[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated blocks and `macro_rules!` bodies,
+/// which every rule exempts.
+pub fn exempt_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for marker in ["#[cfg(test)]", "macro_rules!"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(marker) {
+            let start = from + pos;
+            let after = start + marker.len();
+            if let Some(open_rel) = code[after..].find('{') {
+                let open = after + open_rel;
+                let close = matching_brace(code.as_bytes(), open);
+                ranges.push((start, close));
+                from = close;
+            } else {
+                from = after;
+            }
+        }
+    }
+    ranges
+}
+
+/// Index one past the brace matching the `{` at `open` (or end of input).
+fn matching_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+fn in_ranges(ranges: &[(usize, usize)], pos: usize) -> bool {
+    ranges.iter().any(|&(s, e)| pos >= s && pos < e)
+}
+
+/// 1-based line number of byte offset `pos`.
+fn line_of(code: &str, pos: usize) -> usize {
+    code.as_bytes()[..pos]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// The trimmed original-source line containing byte offset `pos` in the
+/// stripped text (offsets are preserved by the stripper).
+fn snippet_at(original: &str, stripped: &str, pos: usize) -> String {
+    let line = line_of(stripped, pos);
+    original
+        .lines()
+        .nth(line - 1)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-path-panic
+// ---------------------------------------------------------------------------
+
+fn check_hot_path(rel: &str, src: &str, out: &mut Vec<Violation>) {
+    let code = strip_comments_and_strings(src);
+    let exempt = exempt_ranges(&code);
+    for pat in PANIC_PATTERNS {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(pat) {
+            let pos = from + p;
+            from = pos + pat.len();
+            if in_ranges(&exempt, pos) {
+                continue;
+            }
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_of(&code, pos),
+                rule: "hot-path-panic".to_string(),
+                message: format!(
+                    "`{}` is forbidden on the hot path; return a Result or \
+                     handle the case explicitly",
+                    pat.trim_end_matches('(')
+                ),
+                snippet: snippet_at(src, &code, pos),
+                allowed: false,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lossy-cast
+// ---------------------------------------------------------------------------
+
+fn check_casts(rel: &str, src: &str, out: &mut Vec<Violation>) {
+    let code = strip_comments_and_strings(src);
+    let exempt = exempt_ranges(&code);
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(" as ") {
+        let pos = from + p;
+        from = pos + 4;
+        if in_ranges(&exempt, pos) {
+            continue;
+        }
+        // ` as ` inside a longer word can't happen (spaces delimit), but
+        // the target type must be an integer primitive to count.
+        let mut j = pos + 4;
+        while j < b.len() && b[j] == b' ' {
+            j += 1;
+        }
+        let start = j;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        let target = &code[start..j];
+        if INT_TARGETS.contains(&target) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_of(&code, pos),
+                rule: "lossy-cast".to_string(),
+                message: format!(
+                    "bare `as {target}` cast in address arithmetic; use \
+                     mempod_types::convert (or From/try_from) instead"
+                ),
+                snippet: snippet_at(src, &code, pos),
+                allowed: false,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules: missing-docs / missing-debug
+// ---------------------------------------------------------------------------
+
+fn check_api_surface(rel: &str, src: &str, out: &mut Vec<Violation>) {
+    let code = strip_comments_and_strings(src);
+    let exempt = exempt_ranges(&code);
+    // Manual Debug impls satisfy missing-debug just like derives.
+    let manual_debug: Vec<&str> = src
+        .match_indices("Debug for ")
+        .map(|(p, _)| {
+            let rest = &src[p + "Debug for ".len()..];
+            let end = rest
+                .find(|c: char| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(rest.len());
+            &rest[..end]
+        })
+        .collect();
+
+    // Walk the stripped code line by line (offsets preserved), carrying
+    // doc/attribute state for the next item.
+    let mut offset = 0usize;
+    let mut has_doc = false;
+    let mut attrs = String::new();
+    // > 0 while inside a multi-line attribute such as `#[derive(\n...\n)]`.
+    let mut attr_depth = 0i32;
+    // Original lines carry the doc comments the stripper blanked out.
+    let orig_lines: Vec<&str> = src.lines().collect();
+    for (idx, line) in code.lines().enumerate() {
+        let line_start = offset;
+        offset += line.len() + 1;
+        let orig = orig_lines.get(idx).copied().unwrap_or("").trim();
+        let trimmed = line.trim();
+        if in_ranges(&exempt, line_start + (line.len() - line.trim_start().len())) {
+            continue;
+        }
+        if orig.starts_with("///") {
+            has_doc = true;
+            continue;
+        }
+        if orig.starts_with("#[doc") {
+            has_doc = true;
+            continue;
+        }
+        if attr_depth > 0 || trimmed.starts_with("#[") || trimmed.starts_with("#!") {
+            attrs.push_str(trimmed);
+            attrs.push('\n');
+            for c in trimmed.chars() {
+                match c {
+                    '[' => attr_depth += 1,
+                    ']' => attr_depth -= 1,
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(item) = pub_item(trimmed) {
+            let lineno = idx + 1;
+            if !has_doc {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "missing-docs".to_string(),
+                    message: format!("public {} `{}` has no doc comment", item.kind, item.name),
+                    snippet: orig.to_string(),
+                    allowed: false,
+                });
+            }
+            if (item.kind == "struct" || item.kind == "enum")
+                && !attrs_contain_debug(&attrs)
+                && !manual_debug.contains(&item.name.as_str())
+            {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "missing-debug".to_string(),
+                    message: format!(
+                        "public {} `{}` neither derives nor implements Debug",
+                        item.kind, item.name
+                    ),
+                    snippet: orig.to_string(),
+                    allowed: false,
+                });
+            }
+        }
+        has_doc = false;
+        attrs.clear();
+    }
+}
+
+fn attrs_contain_debug(attrs: &str) -> bool {
+    attrs
+        .split("derive(")
+        .skip(1)
+        .any(|rest| match rest.find(')') {
+            Some(end) => rest[..end].split(',').any(|item| item.trim() == "Debug"),
+            None => false,
+        })
+}
+
+/// A detected public item declaration.
+struct PubItem {
+    kind: &'static str,
+    name: String,
+}
+
+/// Parses `pub <kind> <name>` item heads. `pub use`/`pub mod` are skipped
+/// (re-exports and module declarations carry their docs elsewhere), as are
+/// struct fields, which are covered by the struct's own doc requirement.
+fn pub_item(trimmed: &str) -> Option<PubItem> {
+    let rest = trimmed.strip_prefix("pub ")?;
+    let kinds: &[(&str, &'static str)] = &[
+        ("struct ", "struct"),
+        ("enum ", "enum"),
+        ("trait ", "trait"),
+        ("fn ", "fn"),
+        ("const ", "const"),
+        ("static ", "static"),
+        ("type ", "type"),
+        ("union ", "union"),
+        ("unsafe fn ", "fn"),
+    ];
+    for (prefix, kind) in kinds {
+        if let Some(after) = rest.strip_prefix(prefix) {
+            let name: String = after
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                return None;
+            }
+            return Some(PubItem { kind, name });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_blanks_comments_and_strings() {
+        let src = "let a = \"panic!(\"; // .unwrap()\n/* todo!( */ let b = 'x';";
+        let code = strip_comments_and_strings(src);
+        assert!(!code.contains("panic!("));
+        assert!(!code.contains(".unwrap()"));
+        assert!(!code.contains("todo!("));
+        assert_eq!(code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn stripper_keeps_lifetimes_intact() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert_eq!(strip_comments_and_strings(src), src);
+    }
+
+    #[test]
+    fn hot_path_rule_flags_and_exempts() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g(x: Option<u8>) { x.unwrap(); }\n}\n";
+        let mut v = Vec::new();
+        check_hot_path("f.rs", src, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].rule, "hot-path-panic");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let mut v = Vec::new();
+        check_hot_path(
+            "f.rs",
+            "let x = o.unwrap_or(3); let y = r.expect_err(\"no\");",
+            &mut v,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cast_rule_flags_integer_targets_only() {
+        let src = "let a = x as u32;\nlet b = x as f64;\nlet c = y as usize;\n";
+        let mut v = Vec::new();
+        check_casts("g.rs", src, &mut v);
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, [1, 3]);
+    }
+
+    #[test]
+    fn api_rules_demand_docs_and_debug() {
+        let src = "/// Documented.\n#[derive(Debug)]\npub struct Good(u8);\n\
+                   pub struct Bad(u8);\n\
+                   /// Doc but no Debug.\npub enum NoDebug { A }\n\
+                   impl std::fmt::Debug for Manual {}\n\
+                   /// ok\npub struct Manual;\n";
+        let mut v = Vec::new();
+        check_api_surface("h.rs", src, &mut v);
+        let rules: Vec<(&str, usize)> = v.iter().map(|v| (v.rule.as_str(), v.line)).collect();
+        assert!(rules.contains(&("missing-docs", 4)), "{rules:?}");
+        assert!(rules.contains(&("missing-debug", 4)), "{rules:?}");
+        assert!(rules.contains(&("missing-debug", 6)), "{rules:?}");
+        assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn multi_line_derive_attributes_are_tracked() {
+        let src = "/// Documented.\n#[derive(\n    Debug, Clone, Copy,\n)]\n\
+                   #[serde(transparent)]\npub struct Spanning(u8);\n";
+        let mut v = Vec::new();
+        check_api_surface("i.rs", src, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allowlist_grandfathers_by_content() {
+        let al = Allowlist::from_json(
+            r#"[{"file": "f.rs", "rule": "hot-path-panic",
+                 "line_contains": "legacy_unwrap"}]"#,
+        )
+        .expect("valid allowlist");
+        assert!(al.permits(
+            "f.rs",
+            "hot-path-panic",
+            "let x = legacy_unwrap().unwrap();"
+        ));
+        assert!(!al.permits("f.rs", "hot-path-panic", "other.unwrap()"));
+        assert!(!al.permits("g.rs", "hot-path-panic", "legacy_unwrap"));
+    }
+
+    #[test]
+    fn report_json_names_file_line_rule() {
+        let report = LintReport {
+            violations: vec![Violation {
+                file: "crates/x.rs".into(),
+                line: 12,
+                rule: "hot-path-panic".into(),
+                message: "m".into(),
+                snippet: "s".into(),
+                allowed: false,
+            }],
+            files_scanned: 1,
+        };
+        let j = report.to_json();
+        assert_eq!(j["ok"].as_bool(), Some(false));
+        assert_eq!(j["violations"][0]["file"].as_str(), Some("crates/x.rs"));
+        assert_eq!(j["violations"][0]["line"].as_u64(), Some(12));
+        assert_eq!(j["violations"][0]["rule"].as_str(), Some("hot-path-panic"));
+    }
+}

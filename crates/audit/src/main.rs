@@ -1,0 +1,89 @@
+//! CLI for the workspace auditor: `cargo run -p mempod-audit -- lint`.
+//!
+//! Prints a human summary to stderr and the JSON report to stdout, and
+//! exits non-zero when any non-allowlisted violation is found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mempod_audit::lint::{run_lint, Allowlist};
+
+const USAGE: &str = "usage: mempod-audit lint [--root DIR] [--allowlist FILE]
+
+Runs the workspace lint rules (hot-path panic ban, lossy-cast ban,
+pub-API doc/Debug coverage). Prints a JSON report to stdout; exits 1 on
+any violation not covered by the allowlist (default:
+<root>/audit.allowlist.json, if present).";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command != "lint" {
+        eprintln!("unknown command `{command}`\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--allowlist" => match args.next() {
+                Some(f) => allowlist_path = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("--allowlist needs a file\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("audit.allowlist.json"));
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match Allowlist::from_json(&text) {
+            Ok(al) => al,
+            Err(e) => {
+                eprintln!("error: {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    let report = run_lint(&root, &allowlist);
+    for v in report.blocking() {
+        eprintln!("error: {v}");
+    }
+    eprintln!(
+        "mempod-audit lint: {} file(s) scanned, {} blocking violation(s), \
+         {} allowlisted",
+        report.files_scanned,
+        report.blocking().count(),
+        report.violations.iter().filter(|v| v.allowed).count()
+    );
+    match serde_json::to_string_pretty(report.to_json()) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("error: could not render report: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,187 @@
+//! Regression tests for the lint engine against fixture trees: a clean
+//! tree passes, a planted violation is found (and fails the CLI with a
+//! JSON report naming file, line, and rule), and the allowlist
+//! grandfathers exactly what it names.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use mempod_audit::{run_lint, Allowlist};
+
+/// Every file the rule set names, with clean placeholder content.
+const FIXTURE_FILES: &[&str] = &[
+    "crates/dram/src/channel.rs",
+    "crates/dram/src/mapper.rs",
+    "crates/sim/src/runner.rs",
+    "crates/core/src/manager.rs",
+    "crates/core/src/mempod.rs",
+    "crates/types/src/addr.rs",
+    "crates/types/src/geometry.rs",
+];
+
+const CLEAN_STUB: &str = "//! Fixture module.\n\nfn helper() -> u64 {\n    41 + 1\n}\n";
+
+/// Builds a workspace-shaped fixture tree under a unique temp directory.
+fn fixture_tree(tag: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("mempod-audit-fixture-{tag}-{}", std::process::id()));
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("stale fixture removed");
+    }
+    for rel in FIXTURE_FILES {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        std::fs::write(&path, CLEAN_STUB).expect("write stub");
+    }
+    root
+}
+
+fn plant(root: &Path, rel: &str, content: &str) {
+    std::fs::write(root.join(rel), content).expect("write fixture");
+}
+
+#[test]
+fn clean_tree_passes() {
+    let root = fixture_tree("clean");
+    let report = run_lint(&root, &Allowlist::default());
+    assert!(
+        report.ok(),
+        "clean fixture flagged: {:?}",
+        report.violations
+    );
+    assert!(report.files_scanned >= FIXTURE_FILES.len());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn planted_unwrap_is_found_with_file_line_and_rule() {
+    let root = fixture_tree("unwrap");
+    plant(
+        &root,
+        "crates/dram/src/channel.rs",
+        "//! Fixture.\n\nfn bad(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    assert!(!report.ok());
+    let v = report.blocking().next().expect("one finding");
+    assert_eq!(v.file, "crates/dram/src/channel.rs");
+    assert_eq!(v.line, 4);
+    assert_eq!(v.rule, "hot-path-panic");
+    assert!(v.snippet.contains(".unwrap()"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn planted_cast_is_found_but_checked_conversion_is_not() {
+    let root = fixture_tree("cast");
+    plant(
+        &root,
+        "crates/types/src/addr.rs",
+        "//! Fixture.\n\nfn narrow(x: u64) -> u32 {\n    x as u32\n}\n",
+    );
+    plant(
+        &root,
+        "crates/types/src/geometry.rs",
+        "//! Fixture.\n\nfn widen(x: u32) -> u64 {\n    u64::from(x)\n}\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    let rules: Vec<(&str, &str)> = report
+        .blocking()
+        .map(|v| (v.file.as_str(), v.rule.as_str()))
+        .collect();
+    assert_eq!(rules, [("crates/types/src/addr.rs", "lossy-cast")]);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let root = fixture_tree("cfgtest");
+    plant(
+        &root,
+        "crates/core/src/mempod.rs",
+        "//! Fixture.\n\nfn fine() {}\n\n#[cfg(test)]\nmod tests {\n    \
+         #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    assert!(
+        report.ok(),
+        "test-only unwrap flagged: {:?}",
+        report.violations
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn undocumented_pub_api_is_flagged() {
+    let root = fixture_tree("docs");
+    plant(
+        &root,
+        "crates/core/src/manager.rs",
+        "//! Fixture.\n\npub struct Undocumented(u8);\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    let rules: Vec<&str> = report.blocking().map(|v| v.rule.as_str()).collect();
+    assert!(rules.contains(&"missing-docs"), "{rules:?}");
+    assert!(rules.contains(&"missing-debug"), "{rules:?}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn allowlist_grandfathers_named_findings_only() {
+    let root = fixture_tree("allow");
+    plant(
+        &root,
+        "crates/dram/src/channel.rs",
+        "//! Fixture.\n\nfn bad(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let allow = Allowlist::from_json(
+        r#"[{"file": "crates/dram/src/channel.rs",
+             "rule": "hot-path-panic",
+             "line_contains": "x.unwrap()"}]"#,
+    )
+    .expect("valid allowlist");
+    let report = run_lint(&root, &allow);
+    assert!(report.ok(), "allowlisted finding still blocks");
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].allowed);
+    // The same allowlist does not cover a different rule or file.
+    assert!(!allow.permits("crates/dram/src/mapper.rs", "hot-path-panic", "x.unwrap()"));
+    assert!(!allow.permits("crates/dram/src/channel.rs", "lossy-cast", "x.unwrap()"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// End-to-end CLI contract: exit 0 + `"ok": true` JSON on a clean tree,
+/// exit 1 + a JSON report naming file/line/rule on a violation.
+#[test]
+fn cli_exit_codes_and_json_report() {
+    let bin = env!("CARGO_BIN_EXE_mempod-audit");
+
+    let clean = fixture_tree("cli-clean");
+    let out = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(&clean)
+        .output()
+        .expect("run CLI");
+    assert!(out.status.success(), "clean tree must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\": true"), "{stdout}");
+    std::fs::remove_dir_all(&clean).ok();
+
+    let dirty = fixture_tree("cli-dirty");
+    plant(
+        &dirty,
+        "crates/sim/src/runner.rs",
+        "//! Fixture.\n\nfn boom() {\n    panic!(\"no\");\n}\n",
+    );
+    let out = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(&dirty)
+        .output()
+        .expect("run CLI");
+    assert_eq!(out.status.code(), Some(1), "violation must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/sim/src/runner.rs"), "{stdout}");
+    assert!(stdout.contains("\"line\": 4"), "{stdout}");
+    assert!(stdout.contains("hot-path-panic"), "{stdout}");
+    std::fs::remove_dir_all(&dirty).ok();
+}

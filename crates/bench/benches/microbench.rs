@@ -57,7 +57,7 @@ fn bench_hma_sort_cost(c: &mut Criterion) {
     g.bench_function("sort_unstable", |b| {
         b.iter(|| {
             let mut v = counters.clone();
-            v.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+            v.sort_unstable_by_key(|a| std::cmp::Reverse(a.0));
             black_box(v[0]);
         });
     });
@@ -121,7 +121,7 @@ fn bench_manager_translate(c: &mut Criterion) {
                 x ^= x << 17;
                 t += 70_000;
                 let req = MemRequest::new(
-                    Addr(x % total & !63),
+                    Addr((x % total) & !63),
                     AccessKind::Read,
                     Picos(t),
                     CoreId((x % 8) as u8),

@@ -34,7 +34,9 @@ fn main() {
             let cfg = opts.sim_config(ManagerKind::NoMigration);
             let mut layout = cfg.layout();
             layout.interleave = interleave;
-            Simulator::with_layout(cfg, layout).expect("valid").run(&trace)
+            Simulator::with_layout(cfg, layout)
+                .expect("valid")
+                .run(&trace)
         };
         let ra = run(Interleave::PageFrame);
         let rb = run(Interleave::LineStriped);

@@ -32,7 +32,12 @@ fn main() {
         let trace = opts.trace(spec, n);
         let mut cfg = opts.sim_config(ManagerKind::MemPod);
         cfg.mgr.mempod_tracker = TrackerKind::Mea;
-        mea.push(Simulator::new(cfg.clone()).expect("valid").run(&trace).ammat_ns());
+        mea.push(
+            Simulator::new(cfg.clone())
+                .expect("valid")
+                .run(&trace)
+                .ammat_ns(),
+        );
         cfg.mgr.mempod_tracker = TrackerKind::FullCounters;
         fc.push(Simulator::new(cfg).expect("valid").run(&trace).ammat_ns());
         eprintln!("  [{} done]", spec.name());
@@ -58,7 +63,12 @@ fn main() {
     for spec in &specs {
         let trace = opts.trace(spec, n);
         let mut cfg = opts.sim_config(ManagerKind::Cameo);
-        plain.push(Simulator::new(cfg.clone()).expect("valid").run(&trace).ammat_ns());
+        plain.push(
+            Simulator::new(cfg.clone())
+                .expect("valid")
+                .run(&trace)
+                .ammat_ns(),
+        );
         cfg.mgr.cameo_llp = true;
         llp.push(Simulator::new(cfg).expect("valid").run(&trace).ammat_ns());
     }

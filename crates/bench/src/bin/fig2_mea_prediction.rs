@@ -47,8 +47,14 @@ fn main() {
 
     println!("MEA-over-FC advantage per tier (ratio of total hits, all workloads):");
     for tier in 0..3 {
-        let mea: u64 = results.iter().map(|(_, r)| r.mea_prediction.hits[tier]).sum();
-        let fc: u64 = results.iter().map(|(_, r)| r.fc_prediction.hits[tier]).sum();
+        let mea: u64 = results
+            .iter()
+            .map(|(_, r)| r.mea_prediction.hits[tier])
+            .sum();
+        let fc: u64 = results
+            .iter()
+            .map(|(_, r)| r.fc_prediction.hits[tier])
+            .sum();
         println!(
             "  tier {}: MEA {} vs FC {} hits  ({:+.0}%)",
             tier + 1,

@@ -49,12 +49,10 @@ fn run_panel(
     for (wi, &bits) in WIDTHS.iter().enumerate() {
         let a = geometric_mean(ammat[wi].iter().copied()) / two_bit;
         let m = migs[wi].iter().sum::<f64>() / migs[wi].len() as f64;
-        t.row(vec![
-            bits.to_string(),
-            format!("{a:.4}"),
-            format!("{m:.1}"),
-        ]);
-        rows.push(serde_json::json!({ "bits": bits, "norm_ammat": a, "migrations_per_pod_interval": m }));
+        t.row(vec![bits.to_string(), format!("{a:.4}"), format!("{m:.1}")]);
+        rows.push(
+            serde_json::json!({ "bits": bits, "norm_ammat": a, "migrations_per_pod_interval": m }),
+        );
     }
     println!("{}", t.render());
     serde_json::Value::Array(rows)

@@ -25,7 +25,9 @@ fn main() {
     let n = opts.requests_or(6_000_000);
     println!("Figure 8 — AMMAT normalized to no-migration TLM ({n} requests/workload)\n");
 
-    let mut t = TextTable::new(&["workload", "TLM", "MemPod", "HMA", "THM", "CAMEO", "HBM-only"]);
+    let mut t = TextTable::new(&[
+        "workload", "TLM", "MemPod", "HMA", "THM", "CAMEO", "HBM-only",
+    ]);
     let mut per_workload: Vec<(String, Vec<SimReport>)> = Vec::new();
 
     for spec in opts.full_suite() {
@@ -40,16 +42,24 @@ fn main() {
             .collect();
         let base = reports[0].ammat_ps();
         let mut row = vec![spec.name().to_string()];
-        row.extend(reports.iter().map(|r| format!("{:.3}", r.ammat_ps() / base)));
+        row.extend(
+            reports
+                .iter()
+                .map(|r| format!("{:.3}", r.ammat_ps() / base)),
+        );
         t.row(row);
         eprintln!("  [{} done]", spec.name());
         per_workload.push((spec.name().to_string(), reports));
     }
 
-    for (label, filter) in [("AVG HG", Some(false)), ("AVG MIX", Some(true)), ("AVG ALL", None)] {
+    for (label, filter) in [
+        ("AVG HG", Some(false)),
+        ("AVG MIX", Some(true)),
+        ("AVG ALL", None),
+    ] {
         let subset: Vec<(String, Vec<SimReport>)> = per_workload
             .iter()
-            .filter(|(name, _)| filter.map_or(true, |m| name.starts_with("mix") == m))
+            .filter(|(name, _)| filter.is_none_or(|m| name.starts_with("mix") == m))
             .cloned()
             .collect();
         let mut row = vec![label.to_string()];
@@ -65,12 +75,20 @@ fn main() {
     println!("Paper shape: HBM-only < MemPod (~0.81) < THM < HMA < TLM (1.0) < CAMEO (~1.41)\n");
 
     // §6.3.2 migration-traffic comparison.
-    let mut traffic = TextTable::new(&["mechanism", "mean MB moved", "mean swaps", "per-pod MB (MemPod)"]);
+    let mut traffic = TextTable::new(&[
+        "mechanism",
+        "mean MB moved",
+        "mean swaps",
+        "per-pod MB (MemPod)",
+    ]);
     for (ki, kind) in KINDS.iter().enumerate().skip(1) {
         if !kind.migrates() {
             continue;
         }
-        let mb: f64 = per_workload.iter().map(|(_, r)| r[ki].migrated_mb()).sum::<f64>()
+        let mb: f64 = per_workload
+            .iter()
+            .map(|(_, r)| r[ki].migrated_mb())
+            .sum::<f64>()
             / per_workload.len() as f64;
         let swaps: f64 = per_workload
             .iter()

@@ -17,6 +17,9 @@ const CACHES: [Option<u64>; 4] = [
 ];
 const MANAGED: [ManagerKind; 3] = [ManagerKind::MemPod, ManagerKind::Thm, ManagerKind::Hma];
 
+/// One (manager, cache budget, result) measurement for a workload.
+type CachePoint = (ManagerKind, Option<u64>, SimReport);
+
 fn main() {
     let opts = Opts::from_args();
     let n = opts.requests_or(2_000_000);
@@ -28,7 +31,7 @@ fn main() {
     println!("(AMMAT normalized to no-migration TLM; 'free' = unbounded on-chip metadata)\n");
 
     // results[workload] = (tlm, [(kind, cache, report)])
-    let mut all: Vec<(String, f64, Vec<(ManagerKind, Option<u64>, SimReport)>)> = Vec::new();
+    let mut all: Vec<(String, f64, Vec<CachePoint>)> = Vec::new();
     for spec in &specs {
         let trace = opts.trace(spec, n);
         let tlm = Simulator::new(opts.sim_config(ManagerKind::NoMigration))
@@ -67,8 +70,7 @@ fn main() {
                 })
                 .collect();
             let (_, _, norm) = group_means(&items, |(a, _)| *a);
-            let mean_miss =
-                items.iter().map(|(_, (_, m))| m).sum::<f64>() / items.len() as f64;
+            let mean_miss = items.iter().map(|(_, (_, m))| m).sum::<f64>() / items.len() as f64;
             t.row(vec![
                 kind.to_string(),
                 label(cache),

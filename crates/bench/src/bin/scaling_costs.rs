@@ -65,8 +65,7 @@ fn main() {
     ]);
     let mut json_b = Vec::new();
     for mult in [1u64, 2, 4, 8] {
-        let geo =
-            Geometry::new((1 << 30) * mult, (8 << 30) * mult, 4).expect("valid layout");
+        let geo = Geometry::new((1 << 30) * mult, (8 << 30) * mult, 4).expect("valid layout");
         let per_pod = geo.pages_per_pod();
         let remap_bits = RemapTable::storage_bits(per_pod);
         let mea_bits = 64 * (tag_bits(per_pod) + 2);

@@ -85,11 +85,19 @@ fn main() {
         cfg = cfg.into_future_system();
     }
 
-    let report = Simulator::new(cfg).expect("valid configuration").run(&trace);
-    println!("workload   : {} ({} requests, {})", workload, report.requests, report.duration);
+    let report = Simulator::new(cfg)
+        .expect("valid configuration")
+        .run(&trace);
+    println!(
+        "workload   : {} ({} requests, {})",
+        workload, report.requests, report.duration
+    );
     println!("manager    : {}", report.manager);
     println!("AMMAT      : {:.2} ns", report.ammat_ns());
-    println!("fast tier  : {:.1}% of requests", report.mem_stats.fast_service_fraction() * 100.0);
+    println!(
+        "fast tier  : {:.1}% of requests",
+        report.mem_stats.fast_service_fraction() * 100.0
+    );
     println!("row hits   : {:.1}%", report.row_hit_rate() * 100.0);
     println!(
         "migrations : {} swaps, {:.1} MB moved over {} intervals",

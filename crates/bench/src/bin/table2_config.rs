@@ -9,7 +9,11 @@ fn main() {
     let opts = Opts::from_args();
     let sys = opts.system();
     println!("Table 2 — experimental framework configuration\n");
-    println!("Processor: {} cores @ {:.1} GHz", sys.cores, sys.cpu_mhz as f64 / 1000.0);
+    println!(
+        "Processor: {} cores @ {:.1} GHz",
+        sys.cores,
+        sys.cpu_mhz as f64 / 1000.0
+    );
     println!("Memory:    {}\n", sys.geometry);
 
     let mut t = TextTable::new(&[
@@ -34,7 +38,10 @@ fn main() {
             ch.to_string(),
             timing.banks.to_string(),
             format!("{} KB", timing.row_bytes >> 10),
-            format!("{}-{}-{}-{}", timing.t_cas, timing.t_rcd, timing.t_rp, timing.t_ras),
+            format!(
+                "{}-{}-{}-{}",
+                timing.t_cas, timing.t_rcd, timing.t_rp, timing.t_ras
+            ),
         ]);
     }
     println!("{}", t.render());

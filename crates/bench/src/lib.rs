@@ -138,7 +138,15 @@ impl Opts {
         let names = if self.smoke {
             vec!["gcc", "mix5"]
         } else {
-            vec!["gcc", "xalanc", "cactus", "mcf", "libquantum", "mix5", "mix9"]
+            vec![
+                "gcc",
+                "xalanc",
+                "cactus",
+                "mcf",
+                "libquantum",
+                "mix5",
+                "mix9",
+            ]
         };
         names
             .iter()
@@ -168,7 +176,9 @@ impl Opts {
     /// Generates (deterministically) the trace for a workload.
     pub fn trace(&self, spec: &WorkloadSpec, requests: usize) -> Arc<Trace> {
         let sys = self.system();
-        Arc::new(TraceGenerator::new(spec.clone(), self.seed).take_requests(requests, &sys.geometry))
+        Arc::new(
+            TraceGenerator::new(spec.clone(), self.seed).take_requests(requests, &sys.geometry),
+        )
     }
 }
 
@@ -181,8 +191,11 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write results file");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write results file");
     println!("\n[saved {}]", path.display());
 }
 

@@ -1,0 +1,185 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides the API subset `mempod-bench` uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a plain
+//! wall-clock timing loop instead of criterion's statistical machinery.
+//! Results print as `name: <mean> ns/iter (<n> iters)`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default per-benchmark measurement budget.
+const DEFAULT_BUDGET_MS: u64 = 200;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            budget_ms: DEFAULT_BUDGET_MS,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), DEFAULT_BUDGET_MS, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    budget_ms: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Scales the measurement budget; smaller sample counts shorten runs,
+    /// mirroring how criterion's `sample_size` is used for slow benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.budget_ms = (DEFAULT_BUDGET_MS * n as u64 / 100).max(20);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.budget_ms, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.budget_ms, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; results print as they are measured).
+    pub fn finish(&mut self) {}
+}
+
+/// A function-plus-parameter benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Times one routine inside the measurement budget.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly until the budget elapses and records the
+    /// per-iteration mean.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One untimed call warms caches and gives slow bodies a chance to
+        // finish at least once inside the budget accounting.
+        black_box(f());
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            black_box(f());
+            n += 1;
+            if start.elapsed() >= self.budget || n >= 10_000_000 {
+                break;
+            }
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, budget_ms: u64, mut f: F) {
+    let mut b = Bencher {
+        budget: Duration::from_millis(budget_ms),
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {label}: no measurement (iter was never called)");
+        return;
+    }
+    let mean_ns = b.elapsed.as_nanos() / u128::from(b.iters);
+    println!("  {label}: {mean_ns} ns/iter ({} iters)", b.iters);
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        g.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, &k| {
+            b.iter(|| black_box(k * 2));
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1u64)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_every_shape() {
+        benches();
+    }
+}

@@ -1,0 +1,392 @@
+//! Vendored, dependency-free stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of external crates the suite relies on are vendored as small
+//! API-compatible subsets under `crates/compat/`. This crate implements the
+//! serde surface the workspace actually uses:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits over a concrete JSON-like
+//!   [`Value`] data model (instead of serde's visitor architecture);
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro crate, honouring `#[serde(transparent)]`,
+//!   `#[serde(skip)]` and `#[serde(default)]`;
+//! * the [`de::DeserializeOwned`] marker bound.
+//!
+//! The sibling `serde_json` crate re-exports [`Value`]/[`Map`] and adds
+//! text rendering/parsing on top of this data model.
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+// The derive macros live in the macro namespace, the traits in the type
+// namespace; both can be re-exported under the same names, exactly as the
+// real serde does with its `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the value's shape does not match `Self`.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// The `serde::de` module: owned-deserialization marker bound.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input.
+    /// In this vendored subset every [`Deserialize`](crate::Deserialize)
+    /// type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// The `serde::ser` module, for parity with upstream paths.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    Value::Number(Number::U64(*self as u64))
+                } else {
+                    Value::Number(Number::I64(*self as i64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::U64(n)) => {
+                        <$t>::try_from(*n).map_err(Error::custom)
+                    }
+                    Value::Number(Number::I64(n)) => {
+                        <$t>::try_from(*n).map_err(Error::custom)
+                    }
+                    Value::Number(Number::F64(n))
+                        if n.fract() == 0.0 && *n >= 0.0 =>
+                    {
+                        <$t>::try_from(*n as u64).map_err(Error::custom)
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string to obtain `'static` — acceptable because the only
+    /// such fields in this workspace are benchmark names on config types,
+    /// deserialized a handful of times per process.
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Array(items) => items,
+            other => return Err(Error::custom(format!("expected array, got {other:?}"))),
+        };
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed.try_into().map_err(|bad: Vec<T>| {
+            Error::custom(format!("expected {N} elements, got {}", bad.len()))
+        })
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+/// Types usable as JSON object keys (JSON keys are always strings, so
+/// integer keys round-trip through their decimal rendering, exactly as
+/// serde_json does).
+pub trait MapKey: Sized {
+    /// Renders the key for the JSON object.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if `key` does not parse as `Self`.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic despite HashMap's
+        // randomized iteration order.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u64.to_value(), Value::Number(Number::U64(42)));
+        assert_eq!(u64::deserialize(&42u64.to_value()), Ok(42));
+        assert_eq!(bool::deserialize(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(f64::deserialize(&1.5f64.to_value()), Ok(1.5));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.to_value()), Ok(v));
+        let o: Option<u64> = None;
+        assert_eq!(o.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Option::<u64>::deserialize(&7u64.to_value()), Ok(Some(7)));
+    }
+
+    #[test]
+    fn mismatch_is_an_error() {
+        assert!(u64::deserialize(&Value::Bool(true)).is_err());
+        assert!(bool::deserialize(&Value::Null).is_err());
+        assert!(u8::deserialize(&300u64.to_value()).is_err());
+    }
+}

@@ -86,7 +86,10 @@ impl CameoManager {
 
     /// Physical (frame, line-in-page) of a line unit.
     fn frame_line(unit: u64) -> (FrameId, u32) {
-        (FrameId(unit / LINES_PER_PAGE), (unit % LINES_PER_PAGE) as u32)
+        (
+            FrameId(unit / LINES_PER_PAGE),
+            (unit % LINES_PER_PAGE) as u32,
+        )
     }
 }
 
@@ -158,6 +161,39 @@ impl MemoryManager for CameoManager {
         // page's first line (used only by coarse invariant checks).
         let (frame, _) = Self::frame_line(self.segs.location_of(page.0 * LINES_PER_PAGE));
         frame
+    }
+
+    /// CAMEO's structural invariants: every diverged congruence-group
+    /// permutation is still a bijection over its slots, every line awaiting
+    /// its first fast-resident touch actually resides in a fast slot, and
+    /// byte accounting matches the 128 B cost of each line swap.
+    #[cfg(feature = "debug-invariants")]
+    fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        use mempod_audit::audit_invariant;
+        use mempod_types::convert::u64_from_usize;
+
+        audit_invariant!(
+            auditor,
+            "group-permutations",
+            self.segs.check_invariant(),
+            "CAMEO: a congruence group's slot permutation is no longer a bijection"
+        );
+        let stranded = self
+            .pending_touch
+            .iter()
+            .filter(|&&line| !self.segs.is_fast(line))
+            .count();
+        audit_invariant!(
+            auditor,
+            "pending-touch-resident",
+            stranded == 0,
+            "CAMEO: {stranded} pending-touch line(s) are not fast-resident"
+        );
+        auditor.check_conserved(
+            "CAMEO bytes moved vs line-swap count",
+            self.stats.migrations * 2 * u64_from_usize(LINE_SIZE),
+            self.stats.bytes_moved,
+        );
     }
 }
 

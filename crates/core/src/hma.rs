@@ -172,6 +172,42 @@ impl MemoryManager for HmaManager {
     fn frame_of_page(&self, page: PageId) -> FrameId {
         self.remap.frame_of(page)
     }
+
+    /// HMA's structural invariants: the OS page table stays a bijection
+    /// with a consistent inverse, every fast frame round-trips through it
+    /// (frame ownership is conserved — no page is lost or duplicated by an
+    /// interval's migration batch), and byte accounting matches the
+    /// page-swap cost of each recorded migration.
+    #[cfg(feature = "debug-invariants")]
+    fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        use mempod_audit::audit_invariant;
+        use mempod_types::convert::{u64_from_usize, usize_from_u64};
+
+        auditor.check_bijection(
+            "HMA remap page->frame",
+            (0..self.remap.len()).map(|p| self.remap.frame_of(PageId(p)).0),
+            usize_from_u64(self.remap.len()),
+        );
+        audit_invariant!(
+            auditor,
+            "remap-inverse",
+            self.remap.check_invariant(),
+            "HMA page->frame and frame->page tables are not mutual inverses"
+        );
+        let round_trips = (0..self.geo.fast_pages())
+            .filter(|&f| self.remap.frame_of(self.remap.page_in(FrameId(f))) == FrameId(f))
+            .count();
+        auditor.check_conserved(
+            "HMA fast-frame ownership round-trips",
+            self.geo.fast_pages(),
+            u64_from_usize(round_trips),
+        );
+        auditor.check_conserved(
+            "HMA bytes moved vs migration count",
+            self.stats.migrations * 2 * u64_from_usize(mempod_types::PAGE_SIZE),
+            self.stats.bytes_moved,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +230,10 @@ mod tests {
         let geo = cfg.geometry;
         let mut mgr = HmaManager::new(&cfg);
         // Two hot slow pages in *different pods* — HMA has no pod limits.
-        for (i, page) in [geo.fast_pages() + 1, geo.fast_pages() + 2].iter().enumerate() {
+        for (i, page) in [geo.fast_pages() + 1, geo.fast_pages() + 2]
+            .iter()
+            .enumerate()
+        {
             for k in 0..100u64 {
                 mgr.on_access(&req_at(*page, Picos::from_ns(k * 1000 + i as u64)));
             }

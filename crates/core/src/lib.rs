@@ -46,8 +46,8 @@ pub mod thm;
 pub use cameo::CameoManager;
 pub use costs::{storage_cost_table, CostRow};
 pub use energy::EnergyModel;
-pub use llp::{LineLocationPredictor, LlpStats};
 pub use hma::HmaManager;
+pub use llp::{LineLocationPredictor, LlpStats};
 pub use manager::{
     build_manager, AccessOutcome, ManagerConfig, ManagerKind, MemoryManager, MigrationStats,
 };

@@ -246,6 +246,15 @@ pub trait MemoryManager {
     /// Where the given original page currently resides (for invariant
     /// checking in tests; implementations must answer without side effects).
     fn frame_of_page(&self, page: mempod_types::PageId) -> FrameId;
+
+    /// States this manager's structural invariants against `auditor`
+    /// (remap bijection, frame-ownership conservation, ...). Called at
+    /// sampled epoch boundaries when the `debug-invariants` feature is on;
+    /// the default states nothing, which suits the static baselines.
+    /// Implementations must answer without side effects.
+    fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        let _ = auditor;
+    }
 }
 
 /// Builds a manager of the requested kind.
@@ -277,7 +286,13 @@ mod tests {
     #[test]
     fn stats_record_per_pod() {
         let mut s = MigrationStats::default();
-        let m = Migration::page_swap(FrameId(0), FrameId(4), Default::default(), Default::default(), Some(2));
+        let m = Migration::page_swap(
+            FrameId(0),
+            FrameId(4),
+            Default::default(),
+            Default::default(),
+            Some(2),
+        );
         s.record(&m);
         s.record(&m);
         assert_eq!(s.migrations, 2);

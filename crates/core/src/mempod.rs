@@ -103,20 +103,21 @@ impl MemPodManager {
             .map(|id| Pod {
                 id,
                 tracker: match cfg.mempod_tracker {
-                    TrackerKind::Mea | TrackerKind::Competing => PodTracker::Mea(
-                        MeaTracker::new(cfg.mea_entries, cfg.mea_counter_bits),
-                    ),
-                    TrackerKind::FullCounters => PodTracker::Full(
-                        FullCounters::new(geo.total_pages(), 16),
-                        cfg.mea_entries,
-                    ),
+                    TrackerKind::Mea | TrackerKind::Competing => {
+                        PodTracker::Mea(MeaTracker::new(cfg.mea_entries, cfg.mea_counter_bits))
+                    }
+                    TrackerKind::FullCounters => {
+                        PodTracker::Full(FullCounters::new(geo.total_pages(), 16), cfg.mea_entries)
+                    }
                 },
                 hand: 0,
             })
             .collect();
         let meta_caches = cfg.meta_cache_bytes.map(|total| {
             let per_pod = (total / geo.pods() as u64).max(64);
-            (0..geo.pods()).map(|_| MetaCache::new(per_pod, 8)).collect()
+            (0..geo.pods())
+                .map(|_| MetaCache::new(per_pod, 8))
+                .collect()
         });
         MemPodManager {
             geo,
@@ -143,8 +144,7 @@ impl MemPodManager {
         let fast_per_pod = self.geo.fast_pages_per_pod();
         for pod in &mut self.pods {
             let hot = pod.tracker.hot_pages();
-            let hot_set: std::collections::HashSet<PageId> =
-                hot.iter().map(|(p, _)| *p).collect();
+            let hot_set: std::collections::HashSet<PageId> = hot.iter().map(|(p, _)| *p).collect();
             for (page, _count) in hot {
                 let cur = self.remap.frame_of(page);
                 if self.geo.tier_of_frame(cur) == Tier::Fast {
@@ -227,6 +227,49 @@ impl MemoryManager for MemPodManager {
     fn frame_of_page(&self, page: PageId) -> FrameId {
         self.remap.frame_of(page)
     }
+
+    /// MemPod's structural invariants: the remap table stays a bijection
+    /// with a consistent inverse, fast frames only ever hold pages of
+    /// their own pod (migration is intra-pod by construction), and the
+    /// per-pod traffic breakdown sums to the total.
+    #[cfg(feature = "debug-invariants")]
+    fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        use mempod_audit::audit_invariant;
+        use mempod_types::convert::usize_from_u64;
+
+        auditor.check_bijection(
+            "MemPod remap page->frame",
+            (0..self.geo.total_pages()).map(|p| self.remap.frame_of(PageId(p)).0),
+            usize_from_u64(self.geo.total_pages()),
+        );
+        audit_invariant!(
+            auditor,
+            "remap-inverse",
+            self.remap.check_invariant(),
+            "MemPod page->frame and frame->page tables are not mutual inverses"
+        );
+        let fast_per_pod = self.geo.fast_pages_per_pod();
+        for pod in &self.pods {
+            let misplaced = (0..fast_per_pod)
+                .filter(|&i| {
+                    let frame = self.geo.fast_frame_of_pod(pod.id, i);
+                    self.geo.pod_of_page(self.remap.page_in(frame)) != pod.id
+                })
+                .count();
+            audit_invariant!(
+                auditor,
+                "pod-frame-ownership",
+                misplaced == 0,
+                "pod {}: {misplaced} fast frame(s) hold another pod's page",
+                pod.id
+            );
+        }
+        auditor.check_conserved(
+            "MemPod per-pod bytes vs total",
+            self.stats.bytes_moved,
+            self.stats.per_pod_bytes.iter().sum::<u64>(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -235,12 +278,7 @@ mod tests {
     use mempod_types::{AccessKind, Addr, CoreId};
 
     fn req_at(page: u64, t: Picos) -> MemRequest {
-        MemRequest::new(
-            Addr(page * 2048),
-            AccessKind::Read,
-            t,
-            CoreId(0),
-        )
+        MemRequest::new(Addr(page * 2048), AccessKind::Read, t, CoreId(0))
     }
 
     fn hammer(mgr: &mut MemPodManager, page: u64, n: u64, base: Picos) {

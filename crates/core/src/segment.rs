@@ -130,7 +130,10 @@ impl SegmentMap {
                     (unit, 0)
                 } else {
                     let slow = unit - self.fast_units;
-                    (slow / self.ratio as u64, 1 + (slow % self.ratio as u64) as u8)
+                    (
+                        slow / self.ratio as u64,
+                        1 + (slow % self.ratio as u64) as u8,
+                    )
                 }
             }
         }
@@ -182,10 +185,32 @@ impl SegmentMap {
         self.slot_of(g, m) == 0
     }
 
+    /// Verifies the structural invariant: every stored permutation has
+    /// exactly `1 + ratio` entries and is a bijection over the slot range
+    /// `0..=ratio`. Groups still at identity are trivially valid and are
+    /// not stored, so this is O(touched groups), not O(total units).
+    pub fn check_invariant(&self) -> bool {
+        let members = 1 + self.ratio as usize;
+        self.perms.iter().all(|(&g, perm)| {
+            if g >= self.fast_units || perm.len() != members {
+                return false;
+            }
+            let mut seen = vec![false; members];
+            perm.iter().all(|&slot| {
+                let s = slot as usize;
+                s < members && !std::mem::replace(&mut seen[s], true)
+            })
+        })
+    }
+
     /// Swaps `member`'s data with whatever occupies the group's fast slot.
     /// Returns `(member's old slot, the displaced member)`, or `None` if
     /// `member` is already fast.
-    pub fn swap_into_fast(&mut self, group: GroupId, member: MemberIdx) -> Option<(MemberIdx, MemberIdx)> {
+    pub fn swap_into_fast(
+        &mut self,
+        group: GroupId,
+        member: MemberIdx,
+    ) -> Option<(MemberIdx, MemberIdx)> {
         let ratio = self.ratio;
         let perm = self
             .perms
@@ -240,7 +265,7 @@ mod tests {
         assert!(m.is_fast(13));
         assert_eq!(m.location_of(13), 1); // in the fast slot (unit 1)
         assert_eq!(m.location_of(1), 13); // member 0 displaced to 3's home
-        // Swapping member 0 back restores identity.
+                                          // Swapping member 0 back restores identity.
         assert_eq!(m.swap_into_fast(1, 0), Some((3, 3)));
         assert_eq!(m.location_of(1), 1);
         assert_eq!(m.location_of(13), 13);
@@ -265,8 +290,7 @@ mod tests {
         assert_eq!(m.slot_of(0, 1), 2);
         assert_eq!(m.slot_of(0, 0), 1);
         // Every slot occupied exactly once.
-        let slots: std::collections::HashSet<u8> =
-            (0..=8).map(|k| m.slot_of(0, k)).collect();
+        let slots: std::collections::HashSet<u8> = (0..=8).map(|k| m.slot_of(0, k)).collect();
         assert_eq!(slots.len(), 9);
         // occupant_of inverts slot_of.
         for k in 0..=8u8 {

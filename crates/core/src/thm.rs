@@ -135,6 +135,39 @@ impl MemoryManager for ThmManager {
     fn frame_of_page(&self, page: PageId) -> FrameId {
         FrameId(self.segs.location_of(page.0))
     }
+
+    /// THM's structural invariants: every diverged segment permutation is
+    /// still a bijection over its slots, every competing counter belongs to
+    /// a real segment, and byte accounting matches the page-swap cost of
+    /// each recorded migration.
+    #[cfg(feature = "debug-invariants")]
+    fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        use mempod_audit::audit_invariant;
+        use mempod_types::convert::u64_from_usize;
+
+        audit_invariant!(
+            auditor,
+            "segment-permutations",
+            self.segs.check_invariant(),
+            "THM: a segment's slot permutation is no longer a bijection"
+        );
+        let orphans = self
+            .counters
+            .keys()
+            .filter(|&&g| g >= self.segs.groups())
+            .count();
+        audit_invariant!(
+            auditor,
+            "counter-segments",
+            orphans == 0,
+            "THM: {orphans} competing counter(s) track nonexistent segments"
+        );
+        auditor.check_conserved(
+            "THM bytes moved vs migration count",
+            self.stats.migrations * 2 * u64_from_usize(mempod_types::PAGE_SIZE),
+            self.stats.bytes_moved,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -169,9 +202,12 @@ mod tests {
         assert_eq!(m.frame_b, FrameId(7)); // the segment's fast frame
         assert_eq!(m.page_a, PageId(page));
         assert_eq!(m.page_b, PageId(7)); // the displaced original fast page
-        // The triggering access is serviced from the new fast location.
+                                         // The triggering access is serviced from the new fast location.
         assert_eq!(out.frame, FrameId(7));
-        assert_eq!(geo.tier_of_frame(mgr.frame_of_page(PageId(page))), Tier::Fast);
+        assert_eq!(
+            geo.tier_of_frame(mgr.frame_of_page(PageId(page))),
+            Tier::Fast
+        );
     }
 
     #[test]
@@ -245,7 +281,10 @@ mod tests {
             mgr.on_access(&req_at(5, i));
         }
         assert_eq!(geo.tier_of_frame(mgr.frame_of_page(PageId(5))), Tier::Fast);
-        assert_eq!(geo.tier_of_frame(mgr.frame_of_page(PageId(slow))), Tier::Slow);
+        assert_eq!(
+            geo.tier_of_frame(mgr.frame_of_page(PageId(slow))),
+            Tier::Slow
+        );
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Property tests for the remap table and segment map under swap storms:
+//! arbitrary swap sequences must preserve the bijection invariants the
+//! runtime auditor checks at epoch boundaries.
+
+use mempod_core::{RemapTable, SegmentMap};
+use mempod_types::{FrameId, PageId};
+use proptest::prelude::*;
+
+/// Splitmix-style step for deriving an unbounded swap stream from one seed.
+fn next(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A storm of random frame swaps leaves the table a permutation with a
+    /// consistent inverse, and swapping back in reverse order restores the
+    /// identity (swaps are self-inverse).
+    #[test]
+    fn swap_storm_preserves_remap_invariant(
+        seed in 1u64..u64::MAX,
+        n_pages in 2u64..256,
+        swaps in 0usize..2000,
+    ) {
+        let mut t = RemapTable::identity(n_pages);
+        let mut x = seed;
+        let mut history = Vec::with_capacity(swaps);
+        for _ in 0..swaps {
+            let a = FrameId(next(&mut x) % n_pages);
+            let b = FrameId(next(&mut x) % n_pages);
+            t.swap_frames(a, b);
+            history.push((a, b));
+            prop_assert!(t.check_invariant());
+        }
+        // Every page is somewhere, and lookups agree both ways.
+        for p in 0..n_pages {
+            let f = t.frame_of(PageId(p));
+            prop_assert_eq!(t.page_in(f), PageId(p));
+        }
+        // Unwind: the storm reversed restores the identity mapping.
+        for (a, b) in history.into_iter().rev() {
+            t.swap_frames(a, b);
+        }
+        prop_assert!((0..n_pages).all(|p| t.is_home(PageId(p))));
+    }
+
+    /// A storm of swap-into-fast operations leaves every touched segment
+    /// permutation a bijection over its slots, with `occupant_of` the exact
+    /// inverse of `slot_of` and unit locations unique within each group.
+    #[test]
+    fn swap_storm_preserves_segment_invariant(
+        seed in 1u64..u64::MAX,
+        groups in 1u64..64,
+        ratio in 1u8..16,
+        swaps in 0usize..1500,
+    ) {
+        let mut m = SegmentMap::new(groups, ratio);
+        let mut x = seed;
+        for _ in 0..swaps {
+            let g = next(&mut x) % groups;
+            let member = (next(&mut x) % (1 + ratio as u64)) as u8;
+            let _ = m.swap_into_fast(g, member);
+        }
+        prop_assert!(m.check_invariant());
+        for g in 0..groups {
+            for k in 0..=ratio {
+                prop_assert_eq!(m.occupant_of(g, m.slot_of(g, k)), k);
+            }
+            // Exactly one member occupies the fast slot.
+            let fast_holders = (0..=ratio)
+                .filter(|&k| m.slot_of(g, k) == 0)
+                .count();
+            prop_assert_eq!(fast_holders, 1);
+        }
+    }
+}

@@ -164,6 +164,12 @@ pub struct Channel {
     next_refresh: Picos,
     next_seq: u64,
     stats: ChannelStats,
+    /// The last scheduling-decision instant (for the monotonic-time audit;
+    /// only maintained when `debug-invariants` is on).
+    last_decision: Picos,
+    /// Scheduling decisions observed at an earlier instant than their
+    /// predecessor — must stay zero; the event loop only moves forward.
+    decision_regressions: u64,
 }
 
 impl Channel {
@@ -182,6 +188,8 @@ impl Channel {
             now: Picos::ZERO,
             next_seq: 0,
             stats: ChannelStats::default(),
+            last_decision: Picos::ZERO,
+            decision_regressions: 0,
         }
     }
 
@@ -217,7 +225,14 @@ impl Channel {
     /// # Panics
     ///
     /// Panics if `bank` is out of range.
-    pub fn enqueue(&mut self, token: ReqToken, bank: u32, row: u64, is_write: bool, arrival: Picos) {
+    pub fn enqueue(
+        &mut self,
+        token: ReqToken,
+        bank: u32,
+        row: u64,
+        is_write: bool,
+        arrival: Picos,
+    ) {
         self.enqueue_with_priority(token, bank, row, is_write, arrival, Priority::Demand);
     }
 
@@ -265,14 +280,10 @@ impl Channel {
     pub fn drain_until(&mut self, until: Picos) -> Vec<(ReqToken, Picos)> {
         let lead = self.timing.cycles(self.timing.t_rcd + self.timing.t_cas);
         let mut done = Vec::new();
-        loop {
-            // On empty queue, leave `now` untouched: channels are reused
-            // across epoch boundaries (drain, migrate, continue) and a
-            // poisoned horizon would push later requests into the far
-            // future.
-            let Some(min_arrival) = self.queue.iter().map(|q| q.arrival).min() else {
-                break;
-            };
+        // On empty queue, stop and leave `now` untouched: channels are
+        // reused across epoch boundaries (drain, migrate, continue) and a
+        // poisoned horizon would push later requests into the far future.
+        while let Some(min_arrival) = self.queue.iter().map(|q| q.arrival).min() {
             let decision = self
                 .now
                 .max(min_arrival)
@@ -293,8 +304,21 @@ impl Channel {
                 self.stats.refreshes += 1;
                 self.next_refresh += self.timing.refresh_interval();
             }
-            let idx = self.pick(decision);
-            let q = self.queue.remove(idx).expect("picked index is valid");
+            // `min_arrival <= decision` guarantees at least one arrived
+            // request, so `pick` finds a candidate; the `else` arms are
+            // unreachable but keep this loop panic-free (hot path).
+            if cfg!(feature = "debug-invariants") {
+                if decision < self.last_decision {
+                    self.decision_regressions += 1;
+                }
+                self.last_decision = decision;
+            }
+            let Some(idx) = self.pick(decision) else {
+                break;
+            };
+            let Some(q) = self.queue.remove(idx) else {
+                break;
+            };
             let completion = self.service(&q, decision);
             done.push((q.token, completion));
         }
@@ -306,10 +330,32 @@ impl Channel {
         self.drain_until(Picos::MAX)
     }
 
+    /// Scheduling decisions that went backwards in time (must be 0; only
+    /// counted when the `debug-invariants` feature is on).
+    pub fn decision_regressions(&self) -> u64 {
+        self.decision_regressions
+    }
+
+    /// States the channel's monotonic simulated-time invariant against
+    /// `auditor`: the event loop's scheduling decisions never regress.
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit_time(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        mempod_audit::audit_invariant!(
+            auditor,
+            "channel-monotonic-time",
+            self.decision_regressions == 0,
+            "channel made {} scheduling decision(s) earlier than a \
+             predecessor (last decision at {})",
+            self.decision_regressions,
+            self.last_decision
+        );
+    }
+
     /// Scheduling pick among requests that have arrived by `decision`:
     /// starving requests first (demand bound 500 ns, background bound 2 µs),
     /// then FR-FCFS within the demand class, then FR-FCFS among background.
-    fn pick(&self, decision: Picos) -> usize {
+    /// `None` only if no queued request has arrived yet.
+    fn pick(&self, decision: Picos) -> Option<usize> {
         let mut oldest_demand: Option<(usize, &Queued)> = None;
         let mut hit_demand: Option<(usize, &Queued)> = None;
         let mut oldest_bg: Option<(usize, &Queued)> = None;
@@ -324,21 +370,21 @@ impl Channel {
             } else {
                 (&mut oldest_bg, &mut hit_bg)
             };
-            if oldest.map_or(true, |(_, o)| q.seq < o.seq) {
+            if oldest.is_none_or(|(_, o)| q.seq < o.seq) {
                 *oldest = Some((i, q));
             }
-            if is_hit && hit.map_or(true, |(_, h)| q.seq < h.seq) {
+            if is_hit && hit.is_none_or(|(_, h)| q.seq < h.seq) {
                 *hit = Some((i, q));
             }
         }
         if let Some((i, q)) = oldest_demand {
             if decision.saturating_sub(q.arrival) > DEMAND_STARVATION_BOUND {
-                return i;
+                return Some(i);
             }
         }
         if let Some((i, q)) = oldest_bg {
             if decision.saturating_sub(q.arrival) > BACKGROUND_STARVATION_BOUND {
-                return i;
+                return Some(i);
             }
         }
         hit_demand
@@ -346,7 +392,6 @@ impl Channel {
             .or(hit_bg)
             .or(oldest_bg)
             .map(|(i, _)| i)
-            .expect("at least one arrived request")
     }
 
     /// Issues one request at decision time `now`, updating bank/bus state.

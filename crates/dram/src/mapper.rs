@@ -12,6 +12,7 @@
 //!   simultaneously-hot pages together boosts row-buffer hit rate in the
 //!   paper's libquantum analysis), and rows interleave across banks.
 
+use mempod_types::convert::{u32_from_u64, u64_from_u32, u64_from_usize, usize_from_u32};
 use mempod_types::{FrameId, Tier, LINE_SIZE, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
@@ -138,7 +139,7 @@ impl AddressMapper {
     /// channels.
     pub fn decode(&self, frame: FrameId, line_in_page: u32) -> PhysLoc {
         assert!(
-            (line_in_page as usize) < PAGE_SIZE / LINE_SIZE,
+            usize_from_u32(line_in_page) < PAGE_SIZE / LINE_SIZE,
             "line {line_in_page} out of page"
         );
         let (tier, tier_frame, channels, chan_base, banks, pages_per_row) =
@@ -147,9 +148,9 @@ impl AddressMapper {
                 (
                     Tier::Fast,
                     frame.0,
-                    self.fast_channels as u64,
+                    u64_from_u32(self.fast_channels),
                     0u32,
-                    self.fast_banks as u64,
+                    u64_from_u32(self.fast_banks),
                     self.fast_pages_per_row,
                 )
             } else {
@@ -157,21 +158,21 @@ impl AddressMapper {
                 (
                     Tier::Slow,
                     frame.0 - self.fast_frames,
-                    self.slow_channels as u64,
+                    u64_from_u32(self.slow_channels),
                     self.fast_channels,
-                    self.slow_banks as u64,
+                    u64_from_u32(self.slow_banks),
                     self.slow_pages_per_row,
                 )
             };
         match self.interleave {
             Interleave::PageFrame => {
-                let channel = (tier_frame % channels) as u32 + chan_base;
+                let channel = u32_from_u64(tier_frame % channels) + chan_base;
                 let in_channel = tier_frame / channels; // page index within channel
                 let row_seq = in_channel / pages_per_row; // sequential row number
                 let slot = in_channel % pages_per_row; // page slot within the row
-                let bank = (row_seq % banks) as u32;
+                let bank = u32_from_u64(row_seq % banks);
                 let row = row_seq / banks;
-                let col = (slot * (PAGE_SIZE / LINE_SIZE) as u64) as u32 + line_in_page;
+                let col = u32_from_u64(slot * u64_from_usize(PAGE_SIZE / LINE_SIZE)) + line_in_page;
                 PhysLoc {
                     channel,
                     bank,
@@ -181,14 +182,14 @@ impl AddressMapper {
                 }
             }
             Interleave::LineStriped => {
-                let lines_per_page = (PAGE_SIZE / LINE_SIZE) as u64;
+                let lines_per_page = u64_from_usize(PAGE_SIZE / LINE_SIZE);
                 let lines_per_row = pages_per_row * lines_per_page;
-                let tier_line = tier_frame * lines_per_page + line_in_page as u64;
-                let channel = (tier_line % channels) as u32 + chan_base;
+                let tier_line = tier_frame * lines_per_page + u64_from_u32(line_in_page);
+                let channel = u32_from_u64(tier_line % channels) + chan_base;
                 let in_channel = tier_line / channels; // line index within channel
                 let row_seq = in_channel / lines_per_row;
-                let col = (in_channel % lines_per_row) as u32;
-                let bank = (row_seq % banks) as u32;
+                let col = u32_from_u64(in_channel % lines_per_row);
+                let bank = u32_from_u64(row_seq % banks);
                 let row = row_seq / banks;
                 PhysLoc {
                     channel,

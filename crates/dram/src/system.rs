@@ -279,12 +279,14 @@ impl MemorySystem {
         let ctrl = self.layout.ctrl_latency;
         let mut out = Vec::new();
         for ch in &mut self.channels {
-            out.extend(ch.drain_until(until).into_iter().map(|(token, done)| {
-                Completion {
-                    token,
-                    completion: done + ctrl,
-                }
-            }));
+            out.extend(
+                ch.drain_until(until)
+                    .into_iter()
+                    .map(|(token, done)| Completion {
+                        token,
+                        completion: done + ctrl,
+                    }),
+            );
         }
         out
     }
@@ -315,6 +317,15 @@ impl MemorySystem {
     /// Lines per page, exposed for migration traffic generation.
     pub fn lines_per_page(&self) -> u32 {
         (PAGE_SIZE / LINE_SIZE) as u32
+    }
+
+    /// States every channel's monotonic simulated-time invariant against
+    /// `auditor` (see [`Channel::audit_time`]).
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        for ch in &self.channels {
+            ch.audit_time(auditor);
+        }
     }
 }
 

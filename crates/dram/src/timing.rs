@@ -229,12 +229,19 @@ mod tests {
     fn hbm_4ghz_is_4x_faster() {
         let base = DramTiming::hbm();
         let oc = DramTiming::hbm_4ghz();
-        assert_eq!(oc.row_miss_floor().as_ps() * 4, base.row_miss_floor().as_ps());
+        assert_eq!(
+            oc.row_miss_floor().as_ps() * 4,
+            base.row_miss_floor().as_ps()
+        );
     }
 
     #[test]
     fn refresh_parameters_are_roughly_jedec() {
-        for t in [DramTiming::hbm(), DramTiming::ddr4_1600(), DramTiming::ddr4_2400()] {
+        for t in [
+            DramTiming::hbm(),
+            DramTiming::ddr4_1600(),
+            DramTiming::ddr4_2400(),
+        ] {
             // tREFI ~7.8 us, tRFC in the 200-400 ns class.
             let refi = t.refresh_interval().as_ns_f64();
             assert!((7_000.0..9_000.0).contains(&refi), "{}: {refi}", t.name);

@@ -18,6 +18,14 @@ pub enum SimError {
         /// Slow pages.
         slow: u64,
     },
+    /// A parallel-runner worker disappeared without reporting a result.
+    /// Only reachable if a worker thread dies without panicking, which the
+    /// runner cannot distinguish from a harness bug — surfaced as an error
+    /// so the hot path never panics.
+    WorkerLost {
+        /// Index of the job whose result never arrived.
+        job: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +35,9 @@ impl fmt::Display for SimError {
                 f,
                 "segmented managers need slow pages ({slow}) to be an integer multiple of fast pages ({fast})"
             ),
+            SimError::WorkerLost { job } => {
+                write!(f, "parallel runner lost the result of job {job}")
+            }
         }
     }
 }
@@ -176,8 +187,8 @@ mod tests {
 
     #[test]
     fn future_system_swaps_timings_and_discounts_hma() {
-        let cfg = SimConfig::new(SystemConfig::paper_default(), ManagerKind::Hma)
-            .into_future_system();
+        let cfg =
+            SimConfig::new(SystemConfig::paper_default(), ManagerKind::Hma).into_future_system();
         assert_eq!(cfg.fast_timing, DramTiming::hbm_4ghz());
         assert_eq!(cfg.slow_timing, DramTiming::ddr4_2400());
         assert_eq!(cfg.mgr.hma_sort_penalty, Picos::from_ms(7) * 6 / 10);

@@ -130,7 +130,10 @@ mod tests {
         b.requests = 10;
         b.total_stall = Picos(2000);
         assert!((normalize_to(&a, &b) - 0.5).abs() < 1e-12);
-        assert_eq!(normalize_to(&a, &SimReport::new("w", ManagerKind::Hma)), 0.0);
+        assert_eq!(
+            normalize_to(&a, &SimReport::new("w", ManagerKind::Hma)),
+            0.0
+        );
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! Parallel experiment runner.
 //!
 //! The paper's figures are matrices (workloads × mechanisms × parameters).
-//! [`run_jobs`] executes a list of independent [`Job`]s across scoped worker
-//! threads, preserving job order in the output. Traces are shared by `Arc`
-//! so a workload generated once can feed every mechanism.
+//! [`try_run_jobs`] executes a list of independent [`Job`]s across scoped
+//! worker threads (`std::thread::scope`; no external thread-pool crates),
+//! preserving job order in the output. Traces are shared by `Arc` so a
+//! workload generated once can feed every mechanism.
+//!
+//! This module is on the audited hot path (`mempod-audit` forbids
+//! `unwrap`/`expect`/`panic!` here), so every fallible step propagates a
+//! [`SimError`]; the panicking convenience wrapper
+//! [`run_jobs`](crate::run_jobs) lives at the crate surface instead.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use mempod_trace::Trace;
-use parking_lot::Mutex;
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, SimError};
 use crate::metrics::SimReport;
 use crate::simulator::Simulator;
 
@@ -31,41 +36,57 @@ impl Job {
     }
 }
 
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Worker panics propagate out of `std::thread::scope` anyway; the data
+/// under the lock is per-slot writes that are either complete or absent,
+/// so continuing past poison is sound and keeps this path panic-free.
+fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// Runs all jobs on `threads` workers, returning reports in job order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any job's configuration is invalid ([`Simulator::new`] fails) —
-/// experiment matrices are built programmatically, so an invalid entry is a
-/// harness bug worth failing loudly on.
-pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<SimReport> {
+/// Returns the first [`SimError`] (in job order) if any job's configuration
+/// is rejected by [`Simulator::new`]. Remaining jobs still run; only the
+/// result assembly short-circuits.
+pub fn try_run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<SimReport>, SimError> {
     let threads = threads.max(1).min(jobs.len().max(1));
     let n = jobs.len();
     let jobs = Arc::new(jobs);
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; n]);
+    let results: Mutex<Vec<Option<Result<SimReport, SimError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let job = &jobs[i];
-                let report = Simulator::new(job.cfg.clone())
-                    .expect("experiment matrix contains an invalid configuration")
-                    .run(&job.trace);
-                results.lock()[i] = Some(report);
+                let outcome = Simulator::new(job.cfg.clone()).map(|sim| sim.run(&job.trace));
+                lock_unpoisoned(&results)[i] = Some(outcome);
             });
         }
-    })
-    .expect("worker thread panicked");
+        // Leaving the scope joins every worker; a worker panic (a bug, not
+        // a config error) re-raises here without any explicit join code.
+    });
 
-    results
-        .into_inner()
+    let slots = match results.into_inner() {
+        Ok(slots) => slots,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    slots
         .into_iter()
-        .map(|r| r.expect("every job produced a report"))
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or(Err(SimError::WorkerLost { job: i })))
         .collect()
 }
 
@@ -93,7 +114,7 @@ mod tests {
             .iter()
             .map(|&k| Job::new(SimConfig::new(sys.clone(), k), trace.clone()))
             .collect();
-        let parallel = run_jobs(jobs.clone(), 4);
+        let parallel = try_run_jobs(jobs.clone(), 4).expect("all configs valid");
         let serial: Vec<SimReport> = jobs
             .into_iter()
             .map(|j| Simulator::new(j.cfg).unwrap().run(&j.trace))
@@ -107,7 +128,9 @@ mod tests {
 
     #[test]
     fn empty_job_list_is_fine() {
-        assert!(run_jobs(Vec::new(), 8).is_empty());
+        assert!(try_run_jobs(Vec::new(), 8)
+            .expect("empty is valid")
+            .is_empty());
     }
 
     #[test]
@@ -121,6 +144,6 @@ mod tests {
             SimConfig::new(sys, ManagerKind::NoMigration),
             trace,
         )];
-        assert_eq!(run_jobs(jobs, 1).len(), 1);
+        assert_eq!(try_run_jobs(jobs, 1).expect("valid").len(), 1);
     }
 }

@@ -214,19 +214,13 @@ impl Engine {
     fn dispatch(&mut self, w: Waiter) {
         if w.needs_meta {
             let meta_frame = self.meta_backing_frame(w.page);
-            let tok = self
-                .mem
-                .submit(meta_frame, 0, AccessKind::Read, w.issue);
+            let tok = self.mem.submit(meta_frame, 0, AccessKind::Read, w.issue);
             self.owners.insert(tok, TokenOwner::MetaFetch { waiter: w });
             self.injected_meta += 1;
         } else {
             let tok = self.mem.submit(w.frame, w.line, w.kind, w.issue);
-            self.owners.insert(
-                tok,
-                TokenOwner::Foreground {
-                    arrival: w.arrival,
-                },
-            );
+            self.owners
+                .insert(tok, TokenOwner::Foreground { arrival: w.arrival });
         }
     }
 
@@ -298,7 +292,11 @@ impl Engine {
             Some(PageState::Migrating(idx)) if !self.migs[*idx].started => {
                 let m = &self.migs[*idx].m;
                 let mut w = w;
-                w.frame = if page == m.page_a { m.frame_a } else { m.frame_b };
+                w.frame = if page == m.page_a {
+                    m.frame_a
+                } else {
+                    m.frame_b
+                };
                 self.dispatch(w);
             }
             Some(PageState::Migrating(idx)) if !self.migs[*idx].done => {
@@ -372,10 +370,7 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if the layout's frame counts disagree with the configuration.
-    pub fn with_layout(
-        cfg: SimConfig,
-        layout: mempod_dram::MemLayout,
-    ) -> Result<Self, SimError> {
+    pub fn with_layout(cfg: SimConfig, layout: mempod_dram::MemLayout) -> Result<Self, SimError> {
         cfg.validate()?;
         assert_eq!(
             layout.total_frames(),
@@ -388,9 +383,21 @@ impl Simulator {
     }
 
     /// Runs the trace to completion and reports metrics.
+    ///
+    /// With the `debug-invariants` feature enabled, an
+    /// [`InvariantAuditor`](mempod_audit::InvariantAuditor) checks the
+    /// manager's remap/segment invariants, the DRAM channels' monotonic
+    /// simulated time, and migration-count conservation between the
+    /// manager's tracker and this engine at sampled epoch boundaries, and
+    /// panics at the end of the run if any invariant was violated.
     pub fn run(mut self, trace: &Trace) -> SimReport {
         let mut report = SimReport::new(trace.name(), self.cfg.manager);
         report.requests = trace.len() as u64;
+        #[cfg(feature = "debug-invariants")]
+        let mut auditor = mempod_audit::InvariantAuditor::new(
+            format!("{} on {}", self.cfg.manager, trace.name()),
+            8,
+        );
 
         let mut prune_watermark = 8192usize;
         let mut eng = Engine {
@@ -408,8 +415,20 @@ impl Simulator {
             eng.pump(req.arrival);
 
             let outcome = self.mgr.on_access(req);
+            #[cfg(feature = "debug-invariants")]
+            let crossed_boundary = !outcome.migrations.is_empty();
             for m in outcome.migrations {
                 eng.enqueue_migration(m, req.arrival);
+            }
+            #[cfg(feature = "debug-invariants")]
+            if crossed_boundary && auditor.should_sample() {
+                self.mgr.audit_invariants(&mut auditor);
+                eng.mem.audit_invariants(&mut auditor);
+                auditor.check_conserved(
+                    "migrations: manager tracker vs engine",
+                    self.mgr.migration_stats().migrations,
+                    eng.migs.len() as u64,
+                );
             }
 
             let w = Waiter {
@@ -440,6 +459,19 @@ impl Simulator {
         eng.pump(Picos::MAX);
         assert!(eng.owners.is_empty(), "requests lost in the memory system");
         debug_assert!(eng.migs.iter().all(|e| e.done && e.waiters.is_empty()));
+        #[cfg(feature = "debug-invariants")]
+        {
+            // End-of-run pass: every invariant is checked at least once even
+            // if no epoch boundary was sampled.
+            self.mgr.audit_invariants(&mut auditor);
+            eng.mem.audit_invariants(&mut auditor);
+            auditor.check_conserved(
+                "migrations: manager tracker vs engine",
+                self.mgr.migration_stats().migrations,
+                eng.migs.len() as u64,
+            );
+            auditor.assert_clean();
+        }
 
         report.total_stall = eng.total_stall;
         report.duration = trace.duration();
@@ -508,10 +540,7 @@ mod tests {
     #[test]
     fn migration_traffic_is_accounted() {
         let r = run(ManagerKind::MemPod, 40_000);
-        assert_eq!(
-            r.injected_migration_requests,
-            r.migration.migrations * 128
-        );
+        assert_eq!(r.injected_migration_requests, r.migration.migrations * 128);
         assert_eq!(r.migration.bytes_moved, r.migration.migrations * 4096);
     }
 

@@ -171,8 +171,7 @@ impl CoreStream {
             0
         };
         // Derive a well-mixed per-core seed (SplitMix64 step).
-        let mut z = seed
-            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(core as u64 + 1));
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(core as u64 + 1));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^= z >> 31;
@@ -296,7 +295,7 @@ impl CoreStream {
         // Phase rotation.
         self.accesses += 1;
         if let Some(period) = self.profile.phase_period {
-            if self.accesses % period == 0 {
+            if self.accesses.is_multiple_of(period) {
                 self.phase_offset =
                     (self.phase_offset + self.superhot_n + self.warm_n) % self.footprint_pages;
             }
@@ -415,7 +414,10 @@ mod tests {
         let geo = Geometry::tiny();
         let spec = WorkloadSpec::mix("mix1").unwrap();
         let t = TraceGenerator::new(spec, 5).take_requests(10_000, &geo);
-        assert!(t.requests().windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
         // All 8 cores contribute.
         let cores: HashSet<u8> = t.requests().iter().map(|r| r.core.0).collect();
         assert_eq!(cores.len(), 8);

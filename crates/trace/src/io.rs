@@ -20,13 +20,50 @@
 
 use std::io::{self, Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mempod_types::{AccessKind, Addr, CoreId, MemRequest, Picos};
 
 use crate::trace::Trace;
 
 const MAGIC: &[u8; 4] = b"MPT1";
 const RECORD_BYTES: usize = 18;
+
+/// A read cursor over a byte slice: the little-endian decoding helpers the
+/// `bytes` crate used to provide, on plain std types.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next `n` bytes, or `None` if fewer remain.
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn get_u16_le(&mut self) -> Option<u16> {
+        self.take(2)
+            .and_then(|b| b.try_into().ok())
+            .map(u16::from_le_bytes)
+    }
+
+    fn get_u64_le(&mut self) -> Option<u64> {
+        self.take(8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
+    }
+}
 
 /// Serializes a trace to a writer.
 ///
@@ -35,18 +72,18 @@ const RECORD_BYTES: usize = 18;
 /// Returns any I/O error from the writer.
 pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     let name = trace.name().as_bytes();
-    let mut buf = BytesMut::with_capacity(14 + name.len() + trace.len() * RECORD_BYTES);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(u16::try_from(name.len()).map_err(|_| {
-        io::Error::new(io::ErrorKind::InvalidInput, "workload name too long")
-    })?);
-    buf.put_slice(name);
-    buf.put_u64_le(trace.len() as u64);
+    let mut buf = Vec::with_capacity(14 + name.len() + trace.len() * RECORD_BYTES);
+    buf.extend_from_slice(MAGIC);
+    let nlen = u16::try_from(name.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "workload name too long"))?;
+    buf.extend_from_slice(&nlen.to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&(trace.len() as u64).to_le_bytes());
     for r in trace.requests() {
-        buf.put_u64_le(r.arrival.as_ps());
-        buf.put_u64_le(r.addr.0);
-        buf.put_u8(u8::from(r.kind.is_write()));
-        buf.put_u8(r.core.0);
+        buf.extend_from_slice(&r.arrival.as_ps().to_le_bytes());
+        buf.extend_from_slice(&r.addr.0.to_le_bytes());
+        buf.push(u8::from(r.kind.is_write()));
+        buf.push(r.core.0);
     }
     w.write_all(&buf)
 }
@@ -59,31 +96,28 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
 pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
+    let mut buf = Cursor { buf: &raw };
     let fail = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
 
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+    if buf.take(4) != Some(&MAGIC[..]) {
         return Err(fail("bad magic"));
     }
-    if buf.remaining() < 2 {
-        return Err(fail("truncated header"));
-    }
-    let nlen = buf.get_u16_le() as usize;
-    if buf.remaining() < nlen + 8 {
-        return Err(fail("truncated name"));
-    }
-    let name = String::from_utf8(buf.copy_to_bytes(nlen).to_vec())
-        .map_err(|_| fail("name is not utf-8"))?;
-    let count = buf.get_u64_le() as usize;
-    if buf.remaining() < count * RECORD_BYTES {
+    let nlen = buf.get_u16_le().ok_or_else(|| fail("truncated header"))? as usize;
+    let name_bytes = buf.take(nlen).ok_or_else(|| fail("truncated name"))?;
+    let name = std::str::from_utf8(name_bytes)
+        .map_err(|_| fail("name is not utf-8"))?
+        .to_string();
+    let count_u64 = buf.get_u64_le().ok_or_else(|| fail("truncated name"))?;
+    let count = usize::try_from(count_u64).map_err(|_| fail("record count overflow"))?;
+    if buf.remaining() < count.saturating_mul(RECORD_BYTES) {
         return Err(fail("truncated records"));
     }
     let mut requests = Vec::with_capacity(count);
     for _ in 0..count {
-        let arrival = Picos(buf.get_u64_le());
-        let addr = Addr(buf.get_u64_le());
-        let flags = buf.get_u8();
-        let core = CoreId(buf.get_u8());
+        let arrival = Picos(buf.get_u64_le().ok_or_else(|| fail("truncated record"))?);
+        let addr = Addr(buf.get_u64_le().ok_or_else(|| fail("truncated record"))?);
+        let flags = buf.get_u8().ok_or_else(|| fail("truncated record"))?;
+        let core = CoreId(buf.get_u8().ok_or_else(|| fail("truncated record"))?);
         let kind = if flags & 1 == 1 {
             AccessKind::Write
         } else {

@@ -146,12 +146,7 @@ pub static MIXES: &[(&str, &[(&str, u8)])] = &[
     ),
     (
         "mix12",
-        &[
-            ("bwaves", 1),
-            ("cactus", 2),
-            ("dealii", 2),
-            ("xalanc", 1),
-        ],
+        &[("bwaves", 1), ("cactus", 2), ("dealii", 2), ("xalanc", 1)],
     ),
 ];
 
@@ -232,7 +227,16 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["astar", "astar", "gcc", "gcc", "lbm", "libquantum", "libquantum", "mcf"]
+            vec![
+                "astar",
+                "astar",
+                "gcc",
+                "gcc",
+                "lbm",
+                "libquantum",
+                "libquantum",
+                "mcf"
+            ]
         );
     }
 

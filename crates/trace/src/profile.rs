@@ -95,7 +95,7 @@ impl BenchProfile {
             warm_prob: 0.25,
             style: AccessStyle::Random,
             superhot_burst: 0,
-        phase_period: Some(150_000),
+            phase_period: Some(150_000),
             write_ratio: 0.3,
             lines_per_visit: 4.0,
             reqs_per_us: 14.0,
@@ -385,7 +385,11 @@ mod tests {
                 "{}: probs exceed 1",
                 p.name
             );
-            assert!(p.footprint_frac > 0.0 && p.footprint_frac <= 1.0, "{}", p.name);
+            assert!(
+                p.footprint_frac > 0.0 && p.footprint_frac <= 1.0,
+                "{}",
+                p.name
+            );
             assert!((0.0..=1.0).contains(&p.write_ratio), "{}", p.name);
             assert!(p.lines_per_visit >= 1.0, "{}", p.name);
             assert!(p.reqs_per_us > 0.0, "{}", p.name);
@@ -413,8 +417,14 @@ mod tests {
 
     #[test]
     fn cactus_is_stable_and_xalanc_is_phasey() {
-        assert!(BenchProfile::by_name("cactus").unwrap().phase_period.is_none());
-        let x = BenchProfile::by_name("xalanc").unwrap().phase_period.unwrap();
+        assert!(BenchProfile::by_name("cactus")
+            .unwrap()
+            .phase_period
+            .is_none());
+        let x = BenchProfile::by_name("xalanc")
+            .unwrap()
+            .phase_period
+            .unwrap();
         for p in BENCHMARKS {
             if let Some(period) = p.phase_period {
                 assert!(x <= period, "xalanc must rotate fastest");

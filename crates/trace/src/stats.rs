@@ -81,7 +81,11 @@ impl TraceStats {
             distinct_pages: distinct,
             footprint_mb: footprint_bytes as f64 / (1 << 20) as f64,
             footprint_vs_fast: footprint_bytes as f64 / geo.fast_bytes() as f64,
-            write_fraction: if n == 0 { 0.0 } else { writes as f64 / n as f64 },
+            write_fraction: if n == 0 {
+                0.0
+            } else {
+                writes as f64 / n as f64
+            },
             rate_per_us: trace.mean_rate_per_us(),
             top1pct_share: share_of(top1pct),
             top64_share: share_of(64),
@@ -90,7 +94,11 @@ impl TraceStats {
             } else {
                 same_page_runs as f64 / n as f64
             },
-            core_imbalance: if mean_core == 0.0 { 0.0 } else { max_core / mean_core },
+            core_imbalance: if mean_core == 0.0 {
+                0.0
+            } else {
+                max_core / mean_core
+            },
         }
     }
 }
@@ -141,7 +149,11 @@ mod tests {
     #[test]
     fn write_fractions_track_profiles() {
         let lbm = stats_for("lbm", 60_000); // 40% writes
-        assert!((lbm.write_fraction - 0.4).abs() < 0.05, "{}", lbm.write_fraction);
+        assert!(
+            (lbm.write_fraction - 0.4).abs() < 0.05,
+            "{}",
+            lbm.write_fraction
+        );
         let libq = stats_for("libquantum", 60_000); // 5% writes
         assert!(libq.write_fraction < 0.1);
     }

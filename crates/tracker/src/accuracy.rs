@@ -95,11 +95,14 @@ fn tier_sets(ranking: &[(PageId, u64)]) -> [HashSet<PageId>; TIERS] {
     sets
 }
 
-fn score_against_tiers(prediction: &HashSet<PageId>, tiers: &[HashSet<PageId>; TIERS]) -> TierScore {
+fn score_against_tiers(
+    prediction: &HashSet<PageId>,
+    tiers: &[HashSet<PageId>; TIERS],
+) -> TierScore {
     let mut s = TierScore::default();
-    for t in 0..TIERS {
-        s.possible[t] = tiers[t].len() as u64;
-        s.hits[t] = tiers[t].intersection(prediction).count() as u64;
+    for (t, tier) in tiers.iter().enumerate() {
+        s.possible[t] = tier.len() as u64;
+        s.hits[t] = tier.intersection(prediction).count() as u64;
     }
     s
 }
@@ -150,7 +153,9 @@ pub fn prediction_study(
         // Fig. 1: counting accuracy against *this* interval's truth.
         let now_tiers = tier_sets(&true_ranking(interval));
         let mea_set: HashSet<PageId> = mea.hot_pages().into_iter().map(|(p, _)| p).collect();
-        report.mea_counting.accumulate(&score_against_tiers(&mea_set, &now_tiers));
+        report
+            .mea_counting
+            .accumulate(&score_against_tiers(&mea_set, &now_tiers));
 
         // Figs. 2–3: prediction against the *next* interval's truth.
         if let Some(next) = intervals.get(i + 1) {

@@ -178,7 +178,7 @@ mod tests {
         let mut c = CompetingCounter::new(10);
         c.on_slow_access(PageId(1)); // challenger=1, count 1
         c.on_slow_access(PageId(2)); // erode: count 0 -> wait, erode first
-        // After erosion to zero the *next* rival takes over.
+                                     // After erosion to zero the *next* rival takes over.
         assert_eq!(c.count(), 0);
         c.on_slow_access(PageId(2)); // count==0 -> challenger=2, count 1
         assert_eq!(c.challenger(), Some(PageId(2)));

@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::convert::u64_from_usize;
 use crate::geometry::{LINE_SIZE, PAGE_SIZE};
 
 /// A byte address in the original flat address space.
@@ -40,22 +41,22 @@ pub struct Addr(pub u64);
 impl Addr {
     /// The page this byte address falls in.
     pub const fn page(self) -> PageId {
-        PageId(self.0 / PAGE_SIZE as u64)
+        PageId(self.0 / u64_from_usize(PAGE_SIZE))
     }
 
     /// The 64-byte cache line this byte address falls in.
     pub const fn line(self) -> LineId {
-        LineId(self.0 / LINE_SIZE as u64)
+        LineId(self.0 / u64_from_usize(LINE_SIZE))
     }
 
     /// Byte offset within the containing page.
     pub const fn page_offset(self) -> u64 {
-        self.0 % PAGE_SIZE as u64
+        self.0 % u64_from_usize(PAGE_SIZE)
     }
 
     /// Byte offset within the containing cache line.
     pub const fn line_offset(self) -> u64 {
-        self.0 % LINE_SIZE as u64
+        self.0 % u64_from_usize(LINE_SIZE)
     }
 }
 
@@ -87,12 +88,12 @@ pub struct PageId(pub u64);
 impl PageId {
     /// The byte address of the first byte of this page.
     pub const fn base_addr(self) -> Addr {
-        Addr(self.0 * PAGE_SIZE as u64)
+        Addr(self.0 * u64_from_usize(PAGE_SIZE))
     }
 
     /// The first cache line of this page.
     pub const fn first_line(self) -> LineId {
-        LineId(self.0 * (PAGE_SIZE / LINE_SIZE) as u64)
+        LineId(self.0 * u64_from_usize(PAGE_SIZE / LINE_SIZE))
     }
 
     /// Raw index.
@@ -117,17 +118,17 @@ pub struct LineId(pub u64);
 impl LineId {
     /// The page containing this line.
     pub const fn page(self) -> PageId {
-        PageId(self.0 / (PAGE_SIZE / LINE_SIZE) as u64)
+        PageId(self.0 / u64_from_usize(PAGE_SIZE / LINE_SIZE))
     }
 
     /// The byte address of the first byte of this line.
     pub const fn base_addr(self) -> Addr {
-        Addr(self.0 * LINE_SIZE as u64)
+        Addr(self.0 * u64_from_usize(LINE_SIZE))
     }
 
     /// Line index within its containing page (0..32 for 2 KB pages).
     pub const fn index_in_page(self) -> u64 {
-        self.0 % (PAGE_SIZE / LINE_SIZE) as u64
+        self.0 % u64_from_usize(PAGE_SIZE / LINE_SIZE)
     }
 
     /// Raw index.

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::addr::{FrameId, LineId, PageId};
+use crate::convert::{u32_from_u64, u64_from_u32, u64_from_usize};
 use crate::error::GeometryError;
 
 /// Page size in bytes. A page migration moves 32 cache lines (paper §6.2).
@@ -76,17 +77,21 @@ impl Geometry {
         if fast_bytes == 0 || slow_bytes == 0 {
             return Err(GeometryError::ZeroCapacity);
         }
-        if fast_bytes % PAGE_SIZE as u64 != 0 || slow_bytes % PAGE_SIZE as u64 != 0 {
+        if !fast_bytes.is_multiple_of(u64_from_usize(PAGE_SIZE))
+            || !slow_bytes.is_multiple_of(u64_from_usize(PAGE_SIZE))
+        {
             return Err(GeometryError::UnalignedCapacity {
-                page_size: PAGE_SIZE as u64,
+                page_size: u64_from_usize(PAGE_SIZE),
             });
         }
         if pods == 0 {
             return Err(GeometryError::ZeroPods);
         }
-        let fast_pages = fast_bytes / PAGE_SIZE as u64;
-        let slow_pages = slow_bytes / PAGE_SIZE as u64;
-        if fast_pages % pods as u64 != 0 || slow_pages % pods as u64 != 0 {
+        let fast_pages = fast_bytes / u64_from_usize(PAGE_SIZE);
+        let slow_pages = slow_bytes / u64_from_usize(PAGE_SIZE);
+        if !fast_pages.is_multiple_of(u64_from_u32(pods))
+            || !slow_pages.is_multiple_of(u64_from_u32(pods))
+        {
             return Err(GeometryError::PodsDoNotDivide {
                 pods,
                 fast_pages,
@@ -132,12 +137,12 @@ impl Geometry {
 
     /// Number of fast-tier page frames.
     pub const fn fast_pages(&self) -> u64 {
-        self.fast_bytes / PAGE_SIZE as u64
+        self.fast_bytes / u64_from_usize(PAGE_SIZE)
     }
 
     /// Number of slow-tier page frames.
     pub const fn slow_pages(&self) -> u64 {
-        self.slow_bytes / PAGE_SIZE as u64
+        self.slow_bytes / u64_from_usize(PAGE_SIZE)
     }
 
     /// Total pages (= total frames) in the flat address space.
@@ -147,22 +152,22 @@ impl Geometry {
 
     /// Total cache lines in the flat address space.
     pub const fn total_lines(&self) -> u64 {
-        self.total_pages() * LINES_PER_PAGE as u64
+        self.total_pages() * u64_from_usize(LINES_PER_PAGE)
     }
 
     /// Cache lines in the fast tier.
     pub const fn fast_lines(&self) -> u64 {
-        self.fast_pages() * LINES_PER_PAGE as u64
+        self.fast_pages() * u64_from_usize(LINES_PER_PAGE)
     }
 
     /// Pages handled by each pod.
     pub const fn pages_per_pod(&self) -> u64 {
-        self.total_pages() / self.pods as u64
+        self.total_pages() / u64_from_u32(self.pods)
     }
 
     /// Fast frames owned by each pod.
     pub const fn fast_pages_per_pod(&self) -> u64 {
-        self.fast_pages() / self.pods as u64
+        self.fast_pages() / u64_from_u32(self.pods)
     }
 
     /// Slow pages per fast page (the paper's 1:8 configuration ratio).
@@ -205,12 +210,12 @@ impl Geometry {
 
     /// The pod that owns `page`.
     pub const fn pod_of_page(&self, page: PageId) -> u32 {
-        (page.0 % self.pods as u64) as u32
+        u32_from_u64(page.0 % u64_from_u32(self.pods))
     }
 
     /// The pod that owns `frame`.
     pub const fn pod_of_frame(&self, frame: FrameId) -> u32 {
-        (frame.0 % self.pods as u64) as u32
+        u32_from_u64(frame.0 % u64_from_u32(self.pods))
     }
 
     /// The frame page `page` occupies before any migration (identity map).
@@ -220,7 +225,7 @@ impl Geometry {
 
     /// Pod-local index of a page: its position among its pod's pages.
     pub const fn pod_local_page_index(&self, page: PageId) -> u64 {
-        page.0 / self.pods as u64
+        page.0 / u64_from_u32(self.pods)
     }
 
     /// The `i`-th fast frame of pod `pod` (i in `0..fast_pages_per_pod()`).
@@ -234,7 +239,7 @@ impl Geometry {
             i < self.fast_pages_per_pod(),
             "fast frame index {i} out of range"
         );
-        FrameId(i * self.pods as u64 + pod as u64)
+        FrameId(i * u64_from_u32(self.pods) + u64_from_u32(pod))
     }
 
     /// Returns a layout with both tiers scaled down by `factor` (capacities
@@ -245,7 +250,11 @@ impl Geometry {
     ///
     /// Returns [`GeometryError`] if the scaled layout is invalid.
     pub fn scaled_down(&self, factor: u64) -> Result<Self, GeometryError> {
-        Geometry::new(self.fast_bytes / factor, self.slow_bytes / factor, self.pods)
+        Geometry::new(
+            self.fast_bytes / factor,
+            self.slow_bytes / factor,
+            self.pods,
+        )
     }
 }
 

@@ -14,6 +14,9 @@
 //!   frames + slow DDR frames, pages, pods).
 //! * [`config`] — the serializable top-level system configuration mirroring
 //!   Table 2 of the paper.
+//! * [`convert`] — checked integer conversions; the audit lint bans bare
+//!   `as` casts in address arithmetic, and these helpers are the sanctioned
+//!   route for width changes.
 //!
 //! # Examples
 //!
@@ -29,6 +32,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod convert;
 pub mod error;
 pub mod geometry;
 pub mod request;
@@ -36,6 +40,7 @@ pub mod time;
 
 pub use addr::{Addr, FrameId, LineId, PageId};
 pub use config::{SystemConfig, TrackerKind};
+pub use convert::ConvertError;
 pub use error::GeometryError;
 pub use geometry::{Geometry, Tier, LINE_SIZE, PAGE_SIZE};
 pub use request::{AccessKind, CoreId, MemRequest, RequestId};

@@ -1,0 +1,79 @@
+//! Property tests for the checked-conversion helpers and the address
+//! decomposition they guard: narrowing either round-trips exactly or is
+//! rejected with the offending value, and page/line/frame splits recompose
+//! to the original address for any input.
+
+use mempod_types::convert::{
+    try_u32_from_u64, try_usize_from_u64, u32_from_u64, u64_from_u32, u64_from_usize,
+    usize_from_u32,
+};
+use mempod_types::{Addr, FrameId, Geometry, LineId, PageId, LINE_SIZE, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Narrowing to u32 round-trips for every in-range value, through both
+    /// the fallible and panicking flavors and back through usize.
+    #[test]
+    fn u32_narrowing_round_trips(v in 0u64..=u32::MAX as u64) {
+        let narrow = try_u32_from_u64(v).expect("in range");
+        prop_assert_eq!(narrow, u32_from_u64(v));
+        prop_assert_eq!(u64_from_u32(narrow), v);
+        prop_assert_eq!(u64_from_usize(usize_from_u32(narrow)), v);
+    }
+
+    /// Every out-of-range value is rejected, carrying the value and target
+    /// type in the error (nothing is silently truncated).
+    #[test]
+    fn u32_narrowing_rejects_out_of_range(v in (u32::MAX as u64 + 1)..u64::MAX) {
+        let err = try_u32_from_u64(v).expect_err("out of range");
+        prop_assert_eq!(err.value, v);
+        prop_assert_eq!(err.target, "u32");
+    }
+
+    /// usize narrowing round-trips for values below 2^32 (the compile-time
+    /// guard admits only 32..=64-bit targets, so these always fit).
+    #[test]
+    fn usize_narrowing_round_trips(v in 0u64..(1u64 << 32)) {
+        let narrow = try_usize_from_u64(v).expect("fits every supported target");
+        prop_assert_eq!(u64_from_usize(narrow), v);
+    }
+
+    /// A byte address splits into (page, offset) and (line, offset) pieces
+    /// that each recompose to the original address exactly.
+    #[test]
+    fn addr_split_recomposes(page in 0u64..(1u64 << 40), offset in 0u64..PAGE_SIZE as u64) {
+        let a = Addr(page * PAGE_SIZE as u64 + offset);
+        prop_assert_eq!(a.page(), PageId(page));
+        prop_assert_eq!(a.page_offset(), offset);
+        prop_assert_eq!(a.page().base_addr().0 + a.page_offset(), a.0);
+        prop_assert_eq!(a.line().base_addr().0 + a.line_offset(), a.0);
+        prop_assert_eq!(a.line().page(), PageId(page));
+        prop_assert_eq!(a.line().index_in_page(), offset / LINE_SIZE as u64);
+    }
+
+    /// Line indices decompose against their page consistently: a page's
+    /// first line plus the in-page index reproduces the line.
+    #[test]
+    fn line_split_recomposes(line in 0u64..(1u64 << 45)) {
+        let l = LineId(line);
+        prop_assert_eq!(l.page().first_line().index() + l.index_in_page(), l.index());
+        prop_assert_eq!(l.base_addr().line(), l);
+    }
+
+    /// Pod-residue frame numbering (which routes through the checked u32
+    /// narrowing) round-trips: the i-th fast frame of a pod maps back to
+    /// that pod and index.
+    #[test]
+    fn fast_frame_pod_split_round_trips(pod in 0u32..4, i in 0u64..512) {
+        let geo = Geometry::tiny();
+        if pod >= geo.pods() || i >= geo.fast_pages_per_pod() {
+            return Ok(()); // outside this geometry; nothing to check
+        }
+        let frame = geo.fast_frame_of_pod(pod, i);
+        prop_assert!(geo.contains_frame(frame));
+        prop_assert_eq!(geo.pod_of_frame(frame), pod);
+        prop_assert_eq!(frame, FrameId(i * geo.pods() as u64 + pod as u64));
+    }
+}

@@ -20,7 +20,10 @@ fn main() {
     let tlm = Simulator::new(SimConfig::new(system.clone(), ManagerKind::NoMigration))
         .expect("valid config")
         .run(&trace);
-    println!("== {workload}: MemPod AMMAT normalized to TLM ({:.1} ns) ==", tlm.ammat_ns());
+    println!(
+        "== {workload}: MemPod AMMAT normalized to TLM ({:.1} ns) ==",
+        tlm.ammat_ns()
+    );
 
     let epochs_us = [25u64, 50, 100, 250];
     let counters = [16usize, 64, 256];

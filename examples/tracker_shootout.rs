@@ -3,12 +3,14 @@
 //!
 //! Run: `cargo run --release --example tracker_shootout -- xalanc`
 
-use mempod_suite::tracker::{prediction_study, ActivityTracker, FullCounters, MeaTracker};
 use mempod_suite::trace::{TraceGenerator, WorkloadSpec};
+use mempod_suite::tracker::{prediction_study, ActivityTracker, FullCounters, MeaTracker};
 use mempod_suite::types::SystemConfig;
 
 fn main() {
-    let workload = std::env::args().nth(1).unwrap_or_else(|| "xalanc".to_string());
+    let workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xalanc".to_string());
     let spec = WorkloadSpec::homogeneous(&workload)
         .or_else(|| WorkloadSpec::mix(&workload))
         .unwrap_or_else(|| panic!("unknown workload {workload}"));
@@ -44,5 +46,8 @@ fn main() {
         "  MEA (64 entries x 4 pods): {} B",
         4 * mea.storage_bits(tag_bits) / 8
     );
-    println!("  Full counters:             {} KB", fc.storage_bits(0) / 8 / 1024);
+    println!(
+        "  Full counters:             {} KB",
+        fc.storage_bits(0) / 8 / 1024
+    );
 }

@@ -1,0 +1,24 @@
+#!/bin/bash
+# Full verification pipeline: formatting, clippy at -D warnings, the
+# mempod-audit lint engine, the whole test suite, and the runtime
+# invariant auditor build. Exits non-zero on the first failing stage.
+set -eu
+cd "$(dirname "$0")"
+
+step() {
+    echo
+    echo "=== $1 ==="
+    shift
+    "$@"
+}
+
+step "cargo fmt --check" cargo fmt --all -- --check
+step "cargo clippy (-D warnings)" \
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+step "mempod-audit lint" cargo run -q -p mempod-audit --offline -- lint
+step "cargo test (workspace)" cargo test -q --workspace --offline
+step "cargo test (debug-invariants)" \
+    cargo test -q --features debug-invariants --offline
+
+echo
+echo "All checks passed."

@@ -90,10 +90,7 @@ fn remap_stays_a_permutation_under_every_page_manager() {
         let mut seen = HashSet::new();
         for page in (0..cfg.geometry.total_pages()).step_by(7) {
             let f = mgr.frame_of_page(mempod_suite::types::PageId(page));
-            assert!(
-                seen.insert(f),
-                "{kind}: frame {f} assigned to two pages"
-            );
+            assert!(seen.insert(f), "{kind}: frame {f} assigned to two pages");
         }
     }
 }
@@ -106,7 +103,11 @@ fn future_system_widens_mempods_lead() {
     let norm = |future: bool| {
         let build = |kind| {
             let cfg = SimConfig::new(SystemConfig::tiny(), kind);
-            let cfg = if future { cfg.into_future_system() } else { cfg };
+            let cfg = if future {
+                cfg.into_future_system()
+            } else {
+                cfg
+            };
             Simulator::new(cfg).expect("valid").run(&t)
         };
         let tlm = build(ManagerKind::NoMigration);

@@ -56,7 +56,10 @@ fn cameo_moves_the_most_data_mempod_divides_it_across_pods() {
     assert!(pod.migration.bytes_moved > thm.migration.bytes_moved);
     let per_pod = &pod.migration.per_pod_bytes;
     assert_eq!(per_pod.len(), 4);
-    assert!(per_pod.iter().all(|&b| b > 0), "all pods migrate: {per_pod:?}");
+    assert!(
+        per_pod.iter().all(|&b| b > 0),
+        "all pods migrate: {per_pod:?}"
+    );
     assert_eq!(per_pod.iter().sum::<u64>(), pod.migration.bytes_moved);
 }
 

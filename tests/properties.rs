@@ -4,9 +4,7 @@ use mempod_suite::core::{build_manager, ManagerConfig, ManagerKind};
 use mempod_suite::dram::{MemLayout, MemorySystem};
 use mempod_suite::trace::io::{read_trace, write_trace};
 use mempod_suite::trace::{Trace, TraceGenerator, WorkloadSpec};
-use mempod_suite::types::{
-    AccessKind, Addr, CoreId, FrameId, Geometry, MemRequest, PageId, Picos,
-};
+use mempod_suite::types::{AccessKind, Addr, CoreId, FrameId, Geometry, MemRequest, PageId, Picos};
 use proptest::prelude::*;
 
 proptest! {
@@ -31,7 +29,7 @@ proptest! {
             t += x % 100_000;
             let page = x % total;
             let req = MemRequest::new(
-                Addr(page * 2048 + (x >> 32) % 2048 & !63),
+                Addr((page * 2048 + (x >> 32) % 2048) & !63),
                 if x & 2 == 0 { AccessKind::Read } else { AccessKind::Write },
                 Picos(t),
                 CoreId((x % 8) as u8),
