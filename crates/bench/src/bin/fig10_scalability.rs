@@ -6,7 +6,7 @@
 
 use mempod_bench::{group_means, write_json, Opts, TextTable};
 use mempod_core::ManagerKind;
-use mempod_sim::{SimReport, Simulator};
+use mempod_sim::{normalize_to, SimReport, Simulator};
 
 const KINDS: [ManagerKind; 6] = [
     ManagerKind::NoMigration,
@@ -36,13 +36,18 @@ fn main() {
         let ddr = Simulator::new(opts.sim_config(ManagerKind::DdrOnly).into_future_system())
             .expect("valid")
             .run(&trace);
-        let base = ddr.ammat_ps();
         let mut reports = vec![ddr];
         let mut row = vec![spec.name().to_string(), "1.000".to_string()];
         for &kind in &KINDS {
             let cfg = opts.sim_config(kind).into_future_system();
             let r = Simulator::new(cfg).expect("valid").run(&trace);
-            row.push(format!("{:.3}", r.ammat_ps() / base));
+            let ratio = normalize_to(&r, &reports[0]).unwrap_or_else(|| {
+                panic!(
+                    "DDR-only baseline for `{}` produced zero AMMAT — broken run",
+                    spec.name()
+                )
+            });
+            row.push(format!("{ratio:.3}"));
             reports.push(r);
         }
         t.row(row);
@@ -50,21 +55,23 @@ fn main() {
         per_workload.push((spec.name().to_string(), reports));
     }
 
+    let ratio_to_ddr = |reports: &[SimReport], ki: usize| {
+        normalize_to(&reports[ki], &reports[0])
+            .unwrap_or_else(|| panic!("zero DDR-only baseline in summary"))
+    };
     let mut avg = vec!["AVG ALL".to_string(), "1.000".to_string()];
     for ki in 0..KINDS.len() {
-        let (_, _, m) = group_means(&per_workload, |reports| {
-            reports[ki + 1].ammat_ps() / reports[0].ammat_ps()
-        });
+        let (_, _, m) = group_means(&per_workload, |reports| ratio_to_ddr(reports, ki + 1));
         avg.push(format!("{m:.3}"));
     }
     t.row(avg);
     println!("{}", t.render());
 
     // The paper reports improvements relative to the future TLM.
-    let (_, _, tlm_ratio) = group_means(&per_workload, |r| r[1].ammat_ps() / r[0].ammat_ps());
+    let (_, _, tlm_ratio) = group_means(&per_workload, |r| ratio_to_ddr(r, 1));
     println!("Relative to the future TLM:");
     for (ki, kind) in KINDS.iter().enumerate().skip(1) {
-        let (_, _, m) = group_means(&per_workload, |r| r[ki + 1].ammat_ps() / r[0].ammat_ps());
+        let (_, _, m) = group_means(&per_workload, |r| ratio_to_ddr(r, ki + 1));
         println!(
             "  {:>8}: {:+.1}%  (paper: HMA +2%, THM +13%, MemPod +24%, CAMEO -1%, HBMoc +40%)",
             kind.to_string(),

@@ -9,7 +9,7 @@
 
 use mempod_bench::{group_means, write_json, Opts, TextTable};
 use mempod_core::ManagerKind;
-use mempod_sim::{SimReport, Simulator};
+use mempod_sim::{normalize_to, SimReport, Simulator};
 
 const KINDS: [ManagerKind; 6] = [
     ManagerKind::NoMigration,
@@ -40,13 +40,16 @@ fn main() {
                     .run(&trace)
             })
             .collect();
-        let base = reports[0].ammat_ps();
         let mut row = vec![spec.name().to_string()];
-        row.extend(
-            reports
-                .iter()
-                .map(|r| format!("{:.3}", r.ammat_ps() / base)),
-        );
+        row.extend(reports.iter().map(|r| {
+            let ratio = normalize_to(r, &reports[0]).unwrap_or_else(|| {
+                panic!(
+                    "TLM baseline for `{}` produced zero AMMAT — broken run",
+                    spec.name()
+                )
+            });
+            format!("{ratio:.3}")
+        }));
         t.row(row);
         eprintln!("  [{} done]", spec.name());
         per_workload.push((spec.name().to_string(), reports));
@@ -65,7 +68,8 @@ fn main() {
         let mut row = vec![label.to_string()];
         for ki in 0..KINDS.len() {
             let (_, _, all) = group_means(&subset, |reports| {
-                reports[ki].ammat_ps() / reports[0].ammat_ps()
+                normalize_to(&reports[ki], &reports[0])
+                    .unwrap_or_else(|| panic!("zero TLM baseline in group `{label}`"))
             });
             row.push(format!("{all:.3}"));
         }

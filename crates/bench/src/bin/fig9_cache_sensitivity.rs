@@ -37,6 +37,11 @@ fn main() {
         let tlm = Simulator::new(opts.sim_config(ManagerKind::NoMigration))
             .expect("valid")
             .run(&trace);
+        assert!(
+            tlm.ammat_ps() > 0.0,
+            "TLM baseline for `{}` produced zero AMMAT — broken run",
+            spec.name()
+        );
         let mut rows = Vec::new();
         for &kind in &MANAGED {
             for &cache in &CACHES {

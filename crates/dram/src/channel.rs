@@ -14,8 +14,31 @@
 //! (different row open → precharge + activate), reproducing the latency
 //! structure the paper's analyses depend on (e.g. the libquantum row-hit
 //! study in §6.3.2).
+//!
+//! # Scheduler organization
+//!
+//! The queue is held in **indexed per-(priority, bank) sub-queues** (the
+//! Ramulator organization) instead of one flat list, so a scheduling
+//! decision costs O(banks · log depth) instead of O(depth):
+//!
+//! * every queued request lives in a dense seq-indexed window (its slot is
+//!   `seq - window_base`), giving O(1) lookup and removal;
+//! * each (priority, bank) sub-queue keeps its live seqs in an ordered
+//!   set — iteration order **is** FCFS order — plus a per-row index, so
+//!   the oldest candidate and the oldest row-hit candidate per bank come
+//!   from the head region of each structure;
+//! * a min-heap over (arrival, seq) caches the **arrival frontier**: the
+//!   earliest queued arrival, maintained incrementally with lazy deletion
+//!   instead of re-swept per decision.
+//!
+//! Decisions are **bit-identical** to the original flat O(depth) scan,
+//! which is retained as [`Channel::set_reference_mode`] under
+//! `#[cfg(any(test, feature = "reference-sched"))]` and differential-tested
+//! against the indexed path (see the `differential` test module and
+//! `bench_sched`).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use mempod_types::Picos;
 use serde::{Deserialize, Serialize};
@@ -46,6 +69,16 @@ pub enum Priority {
     Background,
 }
 
+impl Priority {
+    /// Sub-queue class index: demand sub-queues first, then background.
+    fn class(self) -> usize {
+        match self {
+            Priority::Demand => 0,
+            Priority::Background => 1,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Queued {
     token: ReqToken,
@@ -54,6 +87,8 @@ struct Queued {
     row: u64,
     is_write: bool,
     priority: Priority,
+    /// Issue order; FCFS age for the flat-scan pick (the indexed pick keys
+    /// its sub-queues by seq instead of reading it off the request).
     seq: u64,
 }
 
@@ -66,6 +101,17 @@ struct Bank {
     act_at: Picos,
     /// When the last write burst to this bank ended (for tWR).
     write_end: Picos,
+}
+
+/// One (priority, bank) sub-queue: live seqs in issue order plus a per-row
+/// index for the FR-FCFS row-hit candidate.
+#[derive(Debug, Clone, Default)]
+struct SubQueue {
+    /// Live sequence numbers; ascending iteration = FCFS order.
+    seqs: BTreeSet<u64>,
+    /// row → live seqs targeting that row (ascending). Entries are removed
+    /// eagerly on service, so no tombstones accumulate.
+    by_row: HashMap<u64, BTreeSet<u64>>,
 }
 
 /// Row-buffer outcome classification.
@@ -97,6 +143,14 @@ pub struct ChannelStats {
     pub max_queue_depth: usize,
     /// All-bank refresh operations performed.
     pub refreshes: u64,
+    /// Scheduling decisions taken (one per serviced request).
+    #[serde(default)]
+    pub sched_decisions: u64,
+    /// Queue entries examined across all scheduling decisions — the
+    /// scheduler's work metric. O(banks) per decision for the indexed
+    /// scheduler, O(depth) for the reference flat scan.
+    #[serde(default)]
+    pub sched_scan_ops: u64,
 }
 
 impl ChannelStats {
@@ -125,6 +179,15 @@ impl ChannelStats {
         }
     }
 
+    /// Mean queue entries examined per scheduling decision.
+    pub fn scans_per_decision(&self) -> f64 {
+        if self.sched_decisions == 0 {
+            0.0
+        } else {
+            self.sched_scan_ops as f64 / self.sched_decisions as f64
+        }
+    }
+
     /// Merges another channel's statistics into this one.
     pub fn merge(&mut self, other: &ChannelStats) {
         self.reads += other.reads;
@@ -136,6 +199,8 @@ impl ChannelStats {
         self.busy_time += other.busy_time;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.refreshes += other.refreshes;
+        self.sched_decisions += other.sched_decisions;
+        self.sched_scan_ops += other.sched_scan_ops;
     }
 }
 
@@ -158,7 +223,18 @@ impl ChannelStats {
 pub struct Channel {
     timing: DramTiming,
     banks: Vec<Bank>,
-    queue: VecDeque<Queued>,
+    /// Dense seq-indexed storage: slot `i` holds seq `window_base + i`
+    /// (`None` once serviced). The front is trimmed as it empties.
+    window: VecDeque<Option<Queued>>,
+    /// Seq of `window[0]`.
+    window_base: u64,
+    /// Live (queued, unserviced) request count.
+    queued: usize,
+    /// `2 * banks` sub-queues: demand per bank, then background per bank.
+    subs: Vec<SubQueue>,
+    /// Arrival frontier: min-heap over (arrival, seq) with lazy deletion —
+    /// stale tops (already-serviced seqs) are popped on peek.
+    arrival_heap: BinaryHeap<Reverse<(Picos, u64)>>,
     bus_free_at: Picos,
     now: Picos,
     next_refresh: Picos,
@@ -170,6 +246,14 @@ pub struct Channel {
     /// Scheduling decisions observed at an earlier instant than their
     /// predecessor — must stay zero; the event loop only moves forward.
     decision_regressions: u64,
+    /// Drain iterations that observed an arrived frontier but failed to
+    /// pick or pop a request — must stay zero; a non-zero count means the
+    /// scheduler abandoned queued work instead of servicing it.
+    abandoned_picks: u64,
+    /// Runtime switch to the retained flat-scan reference scheduler, for
+    /// differential tests and the `bench_sched` comparison.
+    #[cfg(any(test, feature = "reference-sched"))]
+    reference_mode: bool,
 }
 
 impl Channel {
@@ -182,14 +266,21 @@ impl Channel {
             } else {
                 timing.refresh_interval()
             },
+            window: VecDeque::new(),
+            window_base: 0,
+            queued: 0,
+            subs: vec![SubQueue::default(); 2 * timing.banks as usize],
+            arrival_heap: BinaryHeap::new(),
             timing,
-            queue: VecDeque::new(),
             bus_free_at: Picos::ZERO,
             now: Picos::ZERO,
             next_seq: 0,
             stats: ChannelStats::default(),
             last_decision: Picos::ZERO,
             decision_regressions: 0,
+            abandoned_picks: 0,
+            #[cfg(any(test, feature = "reference-sched"))]
+            reference_mode: false,
         }
     }
 
@@ -205,7 +296,7 @@ impl Channel {
 
     /// Requests currently queued (not yet serviced).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queued
     }
 
     /// The channel-local current time (end of the last scheduled burst or
@@ -214,13 +305,91 @@ impl Channel {
         self.now
     }
 
+    /// Switches this channel to the retained flat-scan reference scheduler
+    /// (the original O(depth²) drain path). Scheduling decisions are
+    /// bit-identical in both modes; only the work per decision differs.
+    #[cfg(any(test, feature = "reference-sched"))]
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+    }
+
+    /// The sub-queue index of a (priority, bank) pair.
+    fn sub_index(&self, priority: Priority, bank: u32) -> usize {
+        priority.class() * self.banks.len() + bank as usize
+    }
+
+    /// The queued request with sequence number `seq`, if still live.
+    fn peek(&self, seq: u64) -> Option<&Queued> {
+        let off = seq.checked_sub(self.window_base)?;
+        self.window.get(usize::try_from(off).ok()?)?.as_ref()
+    }
+
+    /// Removes and returns request `seq` from every index structure.
+    fn take(&mut self, seq: u64) -> Option<Queued> {
+        let off = usize::try_from(seq.checked_sub(self.window_base)?).ok()?;
+        let q = self.window.get_mut(off)?.take()?;
+        self.queued -= 1;
+        let idx = self.sub_index(q.priority, q.bank);
+        let sub = &mut self.subs[idx];
+        sub.seqs.remove(&seq);
+        if let Some(rows) = sub.by_row.get_mut(&q.row) {
+            rows.remove(&seq);
+            if rows.is_empty() {
+                sub.by_row.remove(&q.row);
+            }
+        }
+        // Trim the serviced prefix so the window tracks the live span.
+        while matches!(self.window.front(), Some(None)) {
+            self.window.pop_front();
+            self.window_base += 1;
+        }
+        Some(q)
+    }
+
+    /// The cached arrival frontier: the earliest arrival among queued
+    /// requests, from the lazy-deletion heap. `None` when the queue is
+    /// empty. Amortized O(log depth): every heap entry is popped at most
+    /// once over its lifetime.
+    fn frontier_arrival(&mut self) -> Option<Picos> {
+        while let Some(&Reverse((arrival, seq))) = self.arrival_heap.peek() {
+            if self.peek(seq).is_some() {
+                return Some(arrival);
+            }
+            self.arrival_heap.pop();
+        }
+        None
+    }
+
+    /// The earliest queued arrival, per the active scheduler mode. The
+    /// reference mode re-sweeps the whole queue like the original
+    /// implementation did; the indexed mode consults the frontier heap.
+    fn min_arrival(&mut self) -> Option<Picos> {
+        #[cfg(any(test, feature = "reference-sched"))]
+        if self.reference_mode {
+            let mut scan_ops = 0u64;
+            let min = self
+                .window
+                .iter()
+                .flatten()
+                .map(|q| {
+                    scan_ops += 1;
+                    q.arrival
+                })
+                .min();
+            self.stats.sched_scan_ops += scan_ops;
+            return min;
+        }
+        self.frontier_arrival()
+    }
+
     /// Enqueues a request for `(bank, row)` arriving at `arrival`.
     ///
-    /// Callers must enqueue in non-decreasing arrival order *relative to
-    /// drain calls*: all requests arriving before a given
-    /// [`drain_until`](Channel::drain_until) horizon must be enqueued before
-    /// that call (the system-level simulator guarantees this by processing
-    /// the trace in time order).
+    /// Arrivals need not be monotone in enqueue order (migration write
+    /// phases are submitted at completion times), and a request may even be
+    /// enqueued after a [`drain_until`](Channel::drain_until) horizon that
+    /// its arrival precedes — scheduling clamps it to the channel's local
+    /// `now`, so it competes for grants from the next decision onward but
+    /// never rewrites already-granted bus slots.
     ///
     /// # Panics
     ///
@@ -254,18 +423,24 @@ impl Channel {
             (bank as usize) < self.banks.len(),
             "bank {bank} out of range"
         );
-        let q = Queued {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        debug_assert_eq!(seq, self.window_base + self.window.len() as u64);
+        self.window.push_back(Some(Queued {
             token,
             arrival,
             bank,
             row,
             is_write,
             priority,
-            seq: self.next_seq,
-        };
-        self.next_seq += 1;
-        self.queue.push_back(q);
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+            seq,
+        }));
+        self.queued += 1;
+        self.arrival_heap.push(Reverse((arrival, seq)));
+        let idx = self.sub_index(priority, bank);
+        self.subs[idx].seqs.insert(seq);
+        self.subs[idx].by_row.entry(row).or_default().insert(seq);
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queued);
     }
 
     /// Services queued requests whose schedule fits before `until`, returning
@@ -283,7 +458,7 @@ impl Channel {
         // On empty queue, stop and leave `now` untouched: channels are
         // reused across epoch boundaries (drain, migrate, continue) and a
         // poisoned horizon would push later requests into the far future.
-        while let Some(min_arrival) = self.queue.iter().map(|q| q.arrival).min() {
+        while let Some(min_arrival) = self.min_arrival() {
             let decision = self
                 .now
                 .max(min_arrival)
@@ -295,30 +470,29 @@ impl Channel {
             // bank loses its open row and is blocked until the blackout ends
             // (enforced through bank.ready_at; the pick below proceeds, its
             // timing pays the blackout).
-            while decision >= self.next_refresh {
-                let blackout_end = self.next_refresh + self.timing.refresh_time();
-                for bank in &mut self.banks {
-                    bank.open_row = None;
-                    bank.ready_at = bank.ready_at.max(blackout_end);
-                }
-                self.stats.refreshes += 1;
-                self.next_refresh += self.timing.refresh_interval();
+            if decision >= self.next_refresh {
+                self.fast_forward_refresh(decision);
             }
             // `min_arrival <= decision` guarantees at least one arrived
             // request, so `pick` finds a candidate; the `else` arms are
-            // unreachable but keep this loop panic-free (hot path).
+            // unreachable, but if the invariant ever breaks they count the
+            // abandoned work (reported through the invariant auditor under
+            // `debug-invariants`) instead of dropping it silently.
             if cfg!(feature = "debug-invariants") {
                 if decision < self.last_decision {
                     self.decision_regressions += 1;
                 }
                 self.last_decision = decision;
             }
-            let Some(idx) = self.pick(decision) else {
+            let Some(seq) = self.pick_dispatch(decision) else {
+                self.abandoned_picks += 1;
                 break;
             };
-            let Some(q) = self.queue.remove(idx) else {
+            let Some(q) = self.take(seq) else {
+                self.abandoned_picks += 1;
                 break;
             };
+            self.stats.sched_decisions += 1;
             let completion = self.service(&q, decision);
             done.push((q.token, completion));
         }
@@ -330,10 +504,44 @@ impl Channel {
         self.drain_until(Picos::MAX)
     }
 
+    /// Books every refresh boundary crossed by `decision` in closed form.
+    ///
+    /// The boundaries at `next_refresh, next_refresh + tREFI, ...` up to
+    /// `decision` each close every row and push bank readiness to their
+    /// blackout end; since the blackout ends increase monotonically, the
+    /// net bank effect equals that of the **last** crossed boundary alone,
+    /// so a long idle gap books `k` refreshes in O(banks) instead of
+    /// spinning the catch-up loop `k` times (k can be millions after a
+    /// sparse-trace gap or an epoch drain).
+    fn fast_forward_refresh(&mut self, decision: Picos) {
+        let interval = self.timing.refresh_interval();
+        if interval == Picos::ZERO {
+            // Refresh disabled (t_refi == 0): `next_refresh` is pinned at
+            // the far future; nothing to book.
+            self.next_refresh = Picos::MAX;
+            return;
+        }
+        let missed = (decision - self.next_refresh).as_ps() / interval.as_ps();
+        let last = self.next_refresh + interval * missed;
+        let blackout_end = last + self.timing.refresh_time();
+        for bank in &mut self.banks {
+            bank.open_row = None;
+            bank.ready_at = bank.ready_at.max(blackout_end);
+        }
+        self.stats.refreshes += missed + 1;
+        self.next_refresh = last + interval;
+    }
+
     /// Scheduling decisions that went backwards in time (must be 0; only
     /// counted when the `debug-invariants` feature is on).
     pub fn decision_regressions(&self) -> u64 {
         self.decision_regressions
+    }
+
+    /// Drain iterations that abandoned queued work because no request was
+    /// pickable despite an arrived frontier (must be 0).
+    pub fn abandoned_picks(&self) -> u64 {
+        self.abandoned_picks
     }
 
     /// States the channel's monotonic simulated-time invariant against
@@ -349,18 +557,187 @@ impl Channel {
             self.decision_regressions,
             self.last_decision
         );
+        mempod_audit::audit_invariant!(
+            auditor,
+            "channel-no-abandoned-work",
+            self.abandoned_picks == 0,
+            "channel abandoned {} drain iteration(s) that had an arrived \
+             frontier but no pickable request",
+            self.abandoned_picks
+        );
     }
 
-    /// Scheduling pick among requests that have arrived by `decision`:
-    /// starving requests first (demand bound 500 ns, background bound 2 µs),
-    /// then FR-FCFS within the demand class, then FR-FCFS among background.
-    /// `None` only if no queued request has arrived yet.
-    fn pick(&self, decision: Picos) -> Option<usize> {
-        let mut oldest_demand: Option<(usize, &Queued)> = None;
-        let mut hit_demand: Option<(usize, &Queued)> = None;
-        let mut oldest_bg: Option<(usize, &Queued)> = None;
-        let mut hit_bg: Option<(usize, &Queued)> = None;
-        for (i, q) in self.queue.iter().enumerate() {
+    /// States the indexed scheduler's structural invariants against
+    /// `auditor`: sub-queue seq monotonicity and class membership, per-row
+    /// index consistency, live-count conservation, and agreement between
+    /// the cached arrival frontier and a full queue sweep.
+    #[cfg(feature = "debug-invariants")]
+    pub fn audit_sched(&self, auditor: &mut mempod_audit::InvariantAuditor) {
+        let live = self.window.iter().flatten().count();
+        auditor.check_conserved(
+            "channel window live count vs queued counter",
+            self.queued as u64,
+            live as u64,
+        );
+        let sub_total: usize = self.subs.iter().map(|s| s.seqs.len()).sum();
+        auditor.check_conserved(
+            "channel sub-queue population vs queued counter",
+            self.queued as u64,
+            sub_total as u64,
+        );
+        for (i, sub) in self.subs.iter().enumerate() {
+            auditor.check_monotonic(
+                &format!("channel sub-queue {i} seq order"),
+                sub.seqs.iter().copied(),
+            );
+            for &seq in &sub.seqs {
+                match self.peek(seq) {
+                    None => auditor.record(format!("channel sub-queue {i} indexes dead seq {seq}")),
+                    Some(q) => {
+                        auditor.observe(self.sub_index(q.priority, q.bank) == i, || {
+                            format!(
+                                "seq {seq} (bank {}, {:?}) filed in sub-queue {i}",
+                                q.bank, q.priority
+                            )
+                        });
+                        auditor.observe(
+                            sub.by_row.get(&q.row).is_some_and(|s| s.contains(&seq)),
+                            || format!("seq {seq} missing from row index {}", q.row),
+                        );
+                    }
+                }
+            }
+            for (row, seqs) in &sub.by_row {
+                auditor.observe(!seqs.is_empty(), || {
+                    format!("channel sub-queue {i} keeps empty row index {row}")
+                });
+                auditor.observe(seqs.is_subset(&sub.seqs), || {
+                    format!("channel sub-queue {i} row index {row} not a subset")
+                });
+            }
+        }
+        // Frontier consistency: the heap's best live entry must equal the
+        // true minimum arrival, and every live request must be covered.
+        let swept = self.window.iter().flatten().map(|q| q.arrival).min();
+        let cached = self
+            .arrival_heap
+            .iter()
+            .filter(|Reverse((_, seq))| self.peek(*seq).is_some())
+            .map(|Reverse((arrival, _))| *arrival)
+            .min();
+        auditor.observe(swept == cached, || {
+            format!("arrival frontier cache {cached:?} != queue sweep {swept:?}")
+        });
+    }
+
+    /// Dispatches to the active scheduler implementation.
+    fn pick_dispatch(&mut self, decision: Picos) -> Option<u64> {
+        #[cfg(any(test, feature = "reference-sched"))]
+        if self.reference_mode {
+            return self.pick_reference(decision);
+        }
+        self.pick(decision)
+    }
+
+    /// Indexed scheduling pick among requests that have arrived by
+    /// `decision`: starving requests first (demand bound 500 ns, background
+    /// bound 2 µs), then FR-FCFS within the demand class, then FR-FCFS
+    /// among background. `None` only if no queued request has arrived yet.
+    ///
+    /// Per class, the FCFS-oldest candidate is the first arrived seq of
+    /// each bank's sub-queue (iteration is seq-ordered, pruned once it
+    /// passes the best seq found so far), and the row-hit candidate comes
+    /// from the open row's per-row index the same way — O(banks) probes at
+    /// the head regions in the common monotone-arrival case, never a full
+    /// queue scan.
+    ///
+    /// Shallow queues (the demand-traffic common case) skip the index
+    /// probes entirely: when the live window is shorter than the sub-queue
+    /// count, a flat scan is cheaper than touching every (priority, bank)
+    /// structure. The pick is a scan-order-independent min-seq competition,
+    /// so both paths select the same request.
+    fn pick(&mut self, decision: Picos) -> Option<u64> {
+        if self.window.len() <= 2 * self.subs.len() {
+            return self.pick_flat(decision);
+        }
+        let nbanks = self.banks.len();
+        let mut scan_ops = 0u64;
+        // Per class: (seq, arrival) of the FCFS-oldest arrived request.
+        let mut oldest: [Option<(u64, Picos)>; 2] = [None, None];
+        // Per class: seq of the FCFS-oldest arrived row hit.
+        let mut hit: [Option<u64>; 2] = [None, None];
+        for (class, (oldest, hit)) in oldest.iter_mut().zip(hit.iter_mut()).enumerate() {
+            for bank in 0..nbanks {
+                let sub = &self.subs[class * nbanks + bank];
+                for &seq in &sub.seqs {
+                    scan_ops += 1;
+                    if oldest.is_some_and(|(best, _)| seq >= best) {
+                        break;
+                    }
+                    if let Some(q) = self.peek(seq) {
+                        if q.arrival <= decision {
+                            *oldest = Some((seq, q.arrival));
+                            break;
+                        }
+                    }
+                }
+                let Some(row) = self.banks[bank].open_row else {
+                    continue;
+                };
+                let Some(rows) = sub.by_row.get(&row) else {
+                    continue;
+                };
+                for &seq in rows {
+                    scan_ops += 1;
+                    if hit.is_some_and(|best| seq >= best) {
+                        break;
+                    }
+                    if let Some(q) = self.peek(seq) {
+                        if q.arrival <= decision {
+                            *hit = Some(seq);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.sched_scan_ops += scan_ops;
+        if let Some((seq, arrival)) = oldest[0] {
+            if decision.saturating_sub(arrival) > DEMAND_STARVATION_BOUND {
+                return Some(seq);
+            }
+        }
+        if let Some((seq, arrival)) = oldest[1] {
+            if decision.saturating_sub(arrival) > BACKGROUND_STARVATION_BOUND {
+                return Some(seq);
+            }
+        }
+        hit[0]
+            .or(oldest[0].map(|(seq, _)| seq))
+            .or(hit[1])
+            .or(oldest[1].map(|(seq, _)| seq))
+    }
+
+    /// The retained reference scheduler, used for every decision in
+    /// reference mode.
+    #[cfg(any(test, feature = "reference-sched"))]
+    fn pick_reference(&mut self, decision: Picos) -> Option<u64> {
+        self.pick_flat(decision)
+    }
+
+    /// The original flat scan over every queued request. Selection depends
+    /// only on seq comparisons, so its decisions are independent of scan
+    /// order: it serves both as the oracle the indexed
+    /// [`pick`](Channel::pick) is differential-tested against and as the
+    /// shallow-queue fast path of the indexed scheduler itself.
+    fn pick_flat(&mut self, decision: Picos) -> Option<u64> {
+        let mut oldest_demand: Option<&Queued> = None;
+        let mut hit_demand: Option<&Queued> = None;
+        let mut oldest_bg: Option<&Queued> = None;
+        let mut hit_bg: Option<&Queued> = None;
+        let mut scan_ops = 0u64;
+        for q in self.window.iter().flatten() {
+            scan_ops += 1;
             if q.arrival > decision {
                 continue;
             }
@@ -370,28 +747,32 @@ impl Channel {
             } else {
                 (&mut oldest_bg, &mut hit_bg)
             };
-            if oldest.is_none_or(|(_, o)| q.seq < o.seq) {
-                *oldest = Some((i, q));
+            if oldest.is_none_or(|o| q.seq < o.seq) {
+                *oldest = Some(q);
             }
-            if is_hit && hit.is_none_or(|(_, h)| q.seq < h.seq) {
-                *hit = Some((i, q));
-            }
-        }
-        if let Some((i, q)) = oldest_demand {
-            if decision.saturating_sub(q.arrival) > DEMAND_STARVATION_BOUND {
-                return Some(i);
+            if is_hit && hit.is_none_or(|h| q.seq < h.seq) {
+                *hit = Some(q);
             }
         }
-        if let Some((i, q)) = oldest_bg {
-            if decision.saturating_sub(q.arrival) > BACKGROUND_STARVATION_BOUND {
-                return Some(i);
+        let picked = 'sel: {
+            if let Some(q) = oldest_demand {
+                if decision.saturating_sub(q.arrival) > DEMAND_STARVATION_BOUND {
+                    break 'sel Some(q.seq);
+                }
             }
-        }
-        hit_demand
-            .or(oldest_demand)
-            .or(hit_bg)
-            .or(oldest_bg)
-            .map(|(i, _)| i)
+            if let Some(q) = oldest_bg {
+                if decision.saturating_sub(q.arrival) > BACKGROUND_STARVATION_BOUND {
+                    break 'sel Some(q.seq);
+                }
+            }
+            hit_demand
+                .or(oldest_demand)
+                .or(hit_bg)
+                .or(oldest_bg)
+                .map(|q| q.seq)
+        };
+        self.stats.sched_scan_ops += scan_ops;
+        picked
     }
 
     /// Issues one request at decision time `now`, updating bank/bus state.
@@ -600,6 +981,9 @@ mod tests {
         assert!(s.mean_latency_ps() > 0.0);
         assert!(s.row_hit_rate() > 0.0 && s.row_hit_rate() < 1.0);
         assert_eq!(s.busy_time, ch.timing().burst_time() * 2);
+        assert_eq!(s.sched_decisions, 2);
+        assert!(s.sched_scan_ops > 0);
+        assert!(s.scans_per_decision() > 0.0);
     }
 
     #[test]
@@ -608,17 +992,23 @@ mod tests {
             reads: 1,
             row_hits: 1,
             max_queue_depth: 3,
+            sched_decisions: 1,
+            sched_scan_ops: 4,
             ..Default::default()
         };
         let b = ChannelStats {
             writes: 2,
             row_misses: 2,
             max_queue_depth: 5,
+            sched_decisions: 2,
+            sched_scan_ops: 6,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.requests(), 3);
         assert_eq!(a.max_queue_depth, 5);
+        assert_eq!(a.sched_decisions, 3);
+        assert_eq!(a.sched_scan_ops, 10);
     }
 
     #[test]
@@ -658,6 +1048,32 @@ mod tests {
     }
 
     #[test]
+    fn refresh_catch_up_after_long_idle_gap_is_closed_form() {
+        // Regression: the catch-up loop used to iterate once per elapsed
+        // tREFI — a multi-second (let alone multi-hour) idle gap spun
+        // millions of iterations at one decision point. The closed form
+        // books the same refresh count and the same blackout instantly.
+        let t = DramTiming::hbm();
+        let mut ch = Channel::new(t);
+        ch.enqueue(ReqToken(0), 0, 5, false, Picos::ZERO);
+        let _ = ch.drain_all();
+        // One hour of idle trace: ~461 million elapsed tREFI periods.
+        let gap = Picos::from_ms(3_600_000);
+        ch.enqueue(ReqToken(1), 0, 5, false, gap);
+        let done = ch.drain_all();
+        let expected = gap.as_ps() / t.refresh_interval().as_ps();
+        assert_eq!(ch.stats().refreshes, expected);
+        assert_eq!(ch.stats().row_hits, 0, "row must be closed by refresh");
+        // The access pays the blackout of the *last* crossed boundary.
+        let last = t.refresh_interval() * expected;
+        assert!(done[0].1 >= last + t.refresh_time() + t.row_miss_floor());
+        // The schedule resumes on the regular grid after the gap.
+        ch.enqueue(ReqToken(2), 0, 5, false, ch.now());
+        let _ = ch.drain_all();
+        assert_eq!(ch.stats().refreshes, expected, "no spurious extra refresh");
+    }
+
+    #[test]
     fn queue_order_independence_for_disjoint_banks() {
         // Service of equal-priority requests follows FCFS (seq order).
         let mut ch = hbm_channel();
@@ -665,5 +1081,212 @@ mod tests {
         ch.enqueue(ReqToken(1), 4, 7, false, Picos::ZERO);
         let done = ch.drain_all();
         assert_eq!(done[0].0, ReqToken(0));
+    }
+
+    #[test]
+    fn window_trims_serviced_prefix() {
+        let mut ch = hbm_channel();
+        for i in 0..64u64 {
+            ch.enqueue(ReqToken(i), (i % 16) as u32, i % 4, false, Picos::ZERO);
+        }
+        let _ = ch.drain_all();
+        assert_eq!(ch.pending(), 0);
+        assert!(ch.window.is_empty(), "serviced prefix must be trimmed");
+        assert_eq!(ch.window_base, 64);
+        assert!(ch.subs.iter().all(|s| s.seqs.is_empty()));
+        assert!(ch.subs.iter().all(|s| s.by_row.is_empty()));
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    fn sched_audit_is_clean_on_live_queue() {
+        let mut auditor = mempod_audit::InvariantAuditor::every_epoch("sched");
+        let mut ch = hbm_channel();
+        for i in 0..100u64 {
+            ch.enqueue_with_priority(
+                ReqToken(i),
+                (i % 16) as u32,
+                i % 8,
+                i % 3 == 0,
+                Picos::from_ns(10 * i),
+                if i % 4 == 0 {
+                    Priority::Background
+                } else {
+                    Priority::Demand
+                },
+            );
+        }
+        let _ = ch.drain_until(Picos::from_ns(400));
+        ch.audit_sched(&mut auditor);
+        ch.audit_time(&mut auditor);
+        auditor.assert_clean();
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A deterministic xorshift stream for building request mixes.
+        struct Mix(u64);
+
+        impl Mix {
+            fn next(&mut self) -> u64 {
+                self.0 ^= self.0 << 13;
+                self.0 ^= self.0 >> 7;
+                self.0 ^= self.0 << 17;
+                self.0
+            }
+        }
+
+        fn timing_variant(choice: u64) -> DramTiming {
+            match choice % 3 {
+                0 => DramTiming::hbm(),
+                1 => DramTiming::ddr4_1600(),
+                // A refresh-heavy variant so drains cross tREFI constantly.
+                _ => DramTiming {
+                    t_refi: 200,
+                    t_rfc: 40,
+                    ..DramTiming::hbm()
+                },
+            }
+        }
+
+        /// Drives the same randomized enqueue/drain schedule through an
+        /// indexed and a reference-mode channel, asserting identical
+        /// (token, completion) sequences and identical statistics (minus
+        /// the scan-work counter, which is exactly what differs).
+        fn assert_identical_schedules(
+            seed: u64,
+            timing: DramTiming,
+            batches: usize,
+            per_batch: usize,
+        ) {
+            let banks = timing.banks;
+            let mut indexed = Channel::new(timing);
+            let mut reference = Channel::new(timing);
+            reference.set_reference_mode(true);
+            let mut mix = Mix(seed | 1);
+            let mut horizon = Picos::ZERO;
+            let mut token = 0u64;
+            for _ in 0..batches {
+                for _ in 0..per_batch {
+                    let r = mix.next();
+                    // Arrivals at or after the last horizon (the enqueue
+                    // contract), but deliberately NOT monotone in seq.
+                    let arrival = horizon + Picos(r % 50_000);
+                    let bank = (r >> 17) as u32 % banks;
+                    let row = (r >> 23) % 6;
+                    let is_write = r & 4 == 0;
+                    let priority = if r & 24 == 0 {
+                        Priority::Background
+                    } else {
+                        Priority::Demand
+                    };
+                    for ch in [&mut indexed, &mut reference] {
+                        ch.enqueue_with_priority(
+                            ReqToken(token),
+                            bank,
+                            row,
+                            is_write,
+                            arrival,
+                            priority,
+                        );
+                    }
+                    token += 1;
+                }
+                horizon += Picos(mix.next() % 60_000);
+                let a = indexed.drain_until(horizon);
+                let b = reference.drain_until(horizon);
+                assert_eq!(a, b, "divergence draining to {horizon}");
+            }
+            let a = indexed.drain_all();
+            let b = reference.drain_all();
+            assert_eq!(a, b, "divergence on final drain");
+            assert_eq!(indexed.pending(), 0);
+            let mut sa = *indexed.stats();
+            let mut sb = *reference.stats();
+            // Scan work is the one legitimate difference between modes.
+            assert!(
+                sa.sched_scan_ops <= sb.sched_scan_ops,
+                "indexed scheduler scanned more ({}) than the reference ({})",
+                sa.sched_scan_ops,
+                sb.sched_scan_ops
+            );
+            sa.sched_scan_ops = 0;
+            sb.sched_scan_ops = 0;
+            assert_eq!(sa, sb, "stats diverged");
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The indexed scheduler is decision-identical to the retained
+            /// reference scan across random arrival patterns, priorities,
+            /// bank counts (HBM vs DDR4 presets), rows, drain horizons and
+            /// refresh boundaries.
+            #[test]
+            fn indexed_scheduler_matches_reference(
+                seed in 0u64..100_000,
+                timing_choice in 0u64..3,
+                batches in 1usize..8,
+                per_batch in 1usize..120,
+            ) {
+                assert_identical_schedules(
+                    seed,
+                    timing_variant(timing_choice),
+                    batches,
+                    per_batch,
+                );
+            }
+        }
+
+        #[test]
+        fn deep_queue_migration_storm_matches_reference() {
+            // A migration storm: 64 page swaps of 64 lines each (two page
+            // images per swap → 8192 background requests) flood the queue
+            // while demand traffic trickles in — ≥ 4k outstanding at peak.
+            let timing = DramTiming::hbm();
+            let mut indexed = Channel::new(timing);
+            let mut reference = Channel::new(timing);
+            reference.set_reference_mode(true);
+            let mut token = 0u64;
+            let mut enqueue = |bank, row, write, at, prio| {
+                for ch in [&mut indexed, &mut reference] {
+                    ch.enqueue_with_priority(ReqToken(token), bank, row, write, at, prio);
+                }
+                token += 1;
+            };
+            let mut mix = Mix(0xC0FFEE);
+            for swap in 0..64u64 {
+                let at = Picos::from_ns(swap * 10);
+                for line in 0..64u64 {
+                    let r = mix.next();
+                    enqueue(
+                        (r % 16) as u32,
+                        swap % 7,
+                        line % 2 == 0,
+                        at,
+                        Priority::Background,
+                    );
+                }
+                // Demand showing up during the burst.
+                let r = mix.next();
+                enqueue((r % 16) as u32, r % 5, false, at, Priority::Demand);
+            }
+            let a = indexed.drain_all();
+            let b = reference.drain_all();
+            assert_eq!(a, b);
+            assert!(
+                indexed.stats().max_queue_depth >= 4096,
+                "storm must go ≥4k deep, got {}",
+                indexed.stats().max_queue_depth
+            );
+            assert!(
+                indexed.stats().sched_scan_ops * 20 < reference.stats().sched_scan_ops,
+                "indexed path must do far less scan work: {} vs {}",
+                indexed.stats().sched_scan_ops,
+                reference.stats().sched_scan_ops
+            );
+        }
     }
 }

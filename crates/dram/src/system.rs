@@ -301,6 +301,12 @@ impl MemorySystem {
         self.channels.iter().map(Channel::pending).sum()
     }
 
+    /// Current per-channel queue depths (fast channels first, then slow),
+    /// for queue-pressure reporting and the scheduler benchmark.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.channels.iter().map(Channel::pending).collect()
+    }
+
     /// Statistics split by tier.
     pub fn stats(&self) -> SystemStats {
         let mut s = SystemStats::default();
@@ -319,12 +325,16 @@ impl MemorySystem {
         (PAGE_SIZE / LINE_SIZE) as u32
     }
 
-    /// States every channel's monotonic simulated-time invariant against
-    /// `auditor` (see [`Channel::audit_time`]).
+    /// States every channel's invariants against `auditor`: monotonic
+    /// simulated time and no abandoned work ([`Channel::audit_time`]), plus
+    /// the indexed scheduler's structural invariants — per-sub-queue seq
+    /// monotonicity, row-index consistency, and arrival-frontier agreement
+    /// ([`Channel::audit_sched`]).
     #[cfg(feature = "debug-invariants")]
     pub fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
         for ch in &self.channels {
             ch.audit_time(auditor);
+            ch.audit_sched(auditor);
         }
     }
 }
@@ -424,6 +434,24 @@ mod tests {
         assert_eq!(mem.pending(), 1);
         assert_eq!(mem.drain_all().len(), 1);
         assert_eq!(mem.pending(), 0);
+    }
+
+    #[test]
+    fn queue_depths_track_per_channel_backlog() {
+        let mut mem = MemorySystem::new(MemLayout::tiny());
+        let depths = mem.queue_depths();
+        assert_eq!(depths.len(), 12); // 8 fast + 4 slow
+        assert!(depths.iter().all(|&d| d == 0));
+        for i in 0..16u64 {
+            mem.submit(FrameId(i), 0, AccessKind::Read, Picos::ZERO);
+        }
+        assert_eq!(mem.queue_depths().iter().sum::<usize>(), 16);
+        let _ = mem.drain_all();
+        assert!(mem.queue_depths().iter().all(|&d| d == 0));
+        // Scheduler work counters aggregate through tier stats.
+        let s = mem.stats();
+        assert_eq!(s.total().sched_decisions, 16);
+        assert!(s.total().sched_scan_ops > 0);
     }
 
     #[test]

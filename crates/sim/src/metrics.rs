@@ -73,15 +73,17 @@ impl SimReport {
     }
 }
 
-/// `a / b` AMMAT ratio: `normalize_to(&report, &baseline) < 1.0` means the
-/// report beats the baseline.
-pub fn normalize_to(report: &SimReport, baseline: &SimReport) -> f64 {
+/// `a / b` AMMAT ratio: `normalize_to(&report, &baseline)` below 1.0 means
+/// the report beats the baseline.
+///
+/// Returns `None` when the baseline AMMAT is zero (an empty or broken
+/// baseline run). Callers must surface that case loudly — a silent `0.0`
+/// here used to flow into [`geometric_mean`], which skips non-positive
+/// values, so a broken baseline *inflated* summary geomeans instead of
+/// failing.
+pub fn normalize_to(report: &SimReport, baseline: &SimReport) -> Option<f64> {
     let b = baseline.ammat_ps();
-    if b == 0.0 {
-        0.0
-    } else {
-        report.ammat_ps() / b
-    }
+    (b > 0.0).then(|| report.ammat_ps() / b)
 }
 
 /// Geometric mean of a ratio series (the conventional way to average
@@ -129,11 +131,20 @@ mod tests {
         let mut b = SimReport::new("w", ManagerKind::NoMigration);
         b.requests = 10;
         b.total_stall = Picos(2000);
-        assert!((normalize_to(&a, &b) - 0.5).abs() < 1e-12);
-        assert_eq!(
-            normalize_to(&a, &SimReport::new("w", ManagerKind::Hma)),
-            0.0
-        );
+        let ratio = normalize_to(&a, &b).expect("non-zero baseline");
+        assert!((ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_surfaced_not_averaged_away() {
+        let mut a = SimReport::new("w", ManagerKind::MemPod);
+        a.requests = 10;
+        a.total_stall = Picos(1000);
+        // A broken (empty) baseline must yield None, not a quiet 0.0 that
+        // geometric_mean would skip.
+        let broken = SimReport::new("w", ManagerKind::Hma);
+        assert_eq!(normalize_to(&a, &broken), None);
+        assert_eq!(normalize_to(&broken, &broken), None);
     }
 
     #[test]

@@ -107,6 +107,14 @@ impl Engine {
     /// Drains up to `horizon` repeatedly until no more completions appear
     /// (completions may submit follow-up work that itself completes within
     /// the horizon).
+    ///
+    /// Completion-driven submissions (migration write phases, woken parked
+    /// accesses) may arrive inside the already-drained slice; the channels
+    /// clamp such requests to their local `now`, so re-draining to the same
+    /// horizon services them without rewriting granted bus slots. The
+    /// channels' indexed scheduler state built up this way is checked by
+    /// `MemorySystem::audit_invariants` at sampled epoch boundaries and at
+    /// end of run.
     fn pump(&mut self, horizon: Picos) {
         loop {
             let done = self.mem.drain_until(horizon);

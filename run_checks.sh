@@ -20,5 +20,22 @@ step "cargo test (workspace)" cargo test -q --workspace --offline
 step "cargo test (debug-invariants)" \
     cargo test -q --features debug-invariants --offline
 
+# Scheduler benchmark smoke: must run and emit valid JSON with the
+# indexed-vs-reference speedup field (full-scale numbers live in
+# BENCH_sched.json; refresh with `cargo run --release -p mempod-bench
+# --bin bench_sched`).
+bench_smoke() {
+    cargo run -q --release -p mempod-bench --bin bench_sched --offline -- \
+        --smoke --out BENCH_sched.smoke.json
+    python3 -c "
+import json
+d = json.load(open('BENCH_sched.smoke.json'))
+assert d['bench'] == 'sched_drain' and d['results'], 'malformed benchmark JSON'
+assert all('speedup' in r for r in d['results'])
+print('BENCH_sched.smoke.json OK:', len(d['results']), 'depths')
+"
+}
+step "bench_sched --smoke" bench_smoke
+
 echo
 echo "All checks passed."

@@ -14,6 +14,10 @@ fn trace(name: &str, n: usize) -> mempod_suite::trace::Trace {
 }
 
 #[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (5 workloads x 7 managers); run with --features slow-tests"
+)]
 fn every_manager_survives_every_style_of_workload() {
     // One workload per access style, short traces, all seven managers.
     for workload in ["gcc", "bwaves", "lbm", "mcf", "mix9"] {
@@ -96,6 +100,10 @@ fn remap_stays_a_permutation_under_every_page_manager() {
 }
 
 #[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (4 x 250k-request runs); run with --features slow-tests"
+)]
 fn future_system_widens_mempods_lead() {
     // Fig. 10's core claim, in miniature: MemPod's advantage over TLM grows
     // when the fast:slow latency differential grows.

@@ -54,6 +54,10 @@ fn cameo_llp_costs_show_up_as_meta_traffic() {
 }
 
 #[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (2 x 150k-request runs); run with --features slow-tests"
+)]
 fn mempod_tracker_ablation_runs_both_ways() {
     let mea = run_with(ManagerKind::MemPod, |_| {}, 150_000);
     let fc = run_with(
@@ -86,6 +90,10 @@ fn energy_model_ranks_real_runs() {
 }
 
 #[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (3 x 100k-request runs); run with --features slow-tests"
+)]
 fn non_default_pod_counts_work_end_to_end() {
     let t = trace("xalanc", 100_000);
     for pods in [1u32, 2, 8] {

@@ -46,6 +46,10 @@ fn ddr_only_is_the_upper_bound() {
 }
 
 #[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (3 x 150k-request runs); run with --features slow-tests"
+)]
 fn cameo_moves_the_most_data_mempod_divides_it_across_pods() {
     // §6.3.2: CAMEO forces the most movement; MemPod's traffic is split
     // between pods.
@@ -64,6 +68,10 @@ fn cameo_moves_the_most_data_mempod_divides_it_across_pods() {
 }
 
 #[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (4 x 250k-request runs); run with --features slow-tests"
+)]
 fn mempod_beats_tlm_on_skewed_workloads() {
     // The headline: migration pays on hot/cold-skewed workloads. Averaged
     // over two skewed workloads at warm-up-amortizing length.
@@ -103,6 +111,10 @@ fn mempod_raises_fast_tier_service_and_row_hits() {
 }
 
 #[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (2 x 250k-request runs); run with --features slow-tests"
+)]
 fn libquantum_footprint_converges_into_fast_memory() {
     // The working set fits in HBM: after migration, the large majority of
     // requests are served from the fast tier.
