@@ -1,6 +1,6 @@
 //! The workspace lint engine behind `cargo run -p mempod-audit -- lint`.
 //!
-//! Three rule families, all operating on comment- and string-stripped
+//! Four rule families, all operating on comment- and string-stripped
 //! source so prose never trips a rule:
 //!
 //! * **hot-path-panic** — `.unwrap()`, `.expect(`, `panic!(`, `todo!(`
@@ -8,6 +8,12 @@
 //!   modules (DRAM channel/mapper, simulator runner, manager core)
 //!   outside `#[cfg(test)]` regions. Hot paths return `Result`s;
 //!   panicking conveniences belong at crate surfaces and in tests.
+//! * **hot-path-print** — ad-hoc `println!`/`eprintln!`/`print!`/
+//!   `eprint!` are forbidden in the simulation pipeline (managers, DRAM
+//!   model, simulator, runner, telemetry itself): per-access printing
+//!   destroys throughput, and diagnostics belong in the structured
+//!   telemetry event stream, not on stdout. Experiment bins still print —
+//!   that is their job — so the rule covers only library modules.
 //! * **lossy-cast** — bare `as` casts to integer types are forbidden in
 //!   the address-arithmetic files; conversions must go through the
 //!   checked helpers in `mempod_types::convert` (or `From`/`try_from`),
@@ -34,6 +40,28 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/mempod.rs",
 ];
 
+/// Simulation-pipeline library modules where ad-hoc printing is banned
+/// (diagnostics go through `mempod-telemetry` events instead). A superset
+/// of [`HOT_PATH_FILES`] — panicking is allowed at some of these crate
+/// surfaces, but printing is not allowed anywhere in the pipeline.
+const PRINT_FILES: &[&str] = &[
+    "crates/dram/src/channel.rs",
+    "crates/dram/src/mapper.rs",
+    "crates/dram/src/system.rs",
+    "crates/sim/src/runner.rs",
+    "crates/sim/src/simulator.rs",
+    "crates/core/src/manager.rs",
+    "crates/core/src/mempod.rs",
+    "crates/core/src/hma.rs",
+    "crates/core/src/thm.rs",
+    "crates/core/src/cameo.rs",
+    "crates/telemetry/src/metrics.rs",
+    "crates/telemetry/src/ring.rs",
+    "crates/telemetry/src/event.rs",
+    "crates/telemetry/src/sink.rs",
+    "crates/telemetry/src/lib.rs",
+];
+
 /// The address-arithmetic files where bare integer `as` casts are banned.
 const CAST_FILES: &[&str] = &[
     "crates/types/src/addr.rs",
@@ -52,6 +80,11 @@ const PANIC_PATTERNS: &[&str] = &[
     "todo!(",
     "unimplemented!(",
 ];
+
+/// Printing macros banned in the simulation pipeline. Matches are
+/// anchored on a non-identifier preceding character, so `eprintln!(` never
+/// also counts as `println!(` and `my_print!(` never counts at all.
+const PRINT_PATTERNS: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!("];
 
 /// Integer cast targets that make an `as` cast potentially lossy.
 const INT_TARGETS: &[&str] = &[
@@ -217,6 +250,15 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> LintReport {
                 check_hot_path(rel, &src, &mut violations);
             }
             None => violations.push(missing_file(rel, "hot-path-panic")),
+        }
+    }
+    for rel in PRINT_FILES {
+        match read_rel(root, rel) {
+            Some(src) => {
+                files_scanned += 1;
+                check_prints(rel, &src, &mut violations);
+            }
+            None => violations.push(missing_file(rel, "hot-path-print")),
         }
     }
     for rel in CAST_FILES {
@@ -522,6 +564,38 @@ fn check_hot_path(rel: &str, src: &str, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: hot-path-print
+// ---------------------------------------------------------------------------
+
+fn check_prints(rel: &str, src: &str, out: &mut Vec<Violation>) {
+    let code = strip_comments_and_strings(src);
+    let exempt = exempt_ranges(&code);
+    let b = code.as_bytes();
+    for pat in PRINT_PATTERNS {
+        let mut from = 0;
+        while let Some(p) = code[from..].find(pat) {
+            let pos = from + p;
+            from = pos + pat.len();
+            if in_ranges(&exempt, pos) || prev_is_ident(b, pos) {
+                continue;
+            }
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_of(&code, pos),
+                rule: "hot-path-print".to_string(),
+                message: format!(
+                    "`{}` is forbidden in the simulation pipeline; emit a \
+                     structured mempod-telemetry event instead",
+                    pat.trim_end_matches('(')
+                ),
+                snippet: snippet_at(src, &code, pos),
+                allowed: false,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: lossy-cast
 // ---------------------------------------------------------------------------
 
@@ -740,6 +814,31 @@ mod tests {
         check_hot_path(
             "f.rs",
             "let x = o.unwrap_or(3); let y = r.expect_err(\"no\");",
+            &mut v,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn print_rule_flags_each_macro_once_and_exempts_tests() {
+        let src = "fn f() { println!(\"x\"); }\n\
+                   fn g() { eprintln!(\"y\"); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn h() { println!(\"ok in tests\"); }\n}\n";
+        let mut v = Vec::new();
+        check_prints("f.rs", src, &mut v);
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        // eprintln! on line 2 must not also match as println!.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(lines.contains(&1) && lines.contains(&2), "{lines:?}");
+        assert!(v.iter().all(|v| v.rule == "hot-path-print"));
+    }
+
+    #[test]
+    fn print_rule_ignores_prose_and_custom_macros() {
+        let mut v = Vec::new();
+        check_prints(
+            "f.rs",
+            "// println!(\"in a comment\")\nlet s = \"println!(\"; my_print!(x);\n",
             &mut v,
         );
         assert!(v.is_empty(), "{v:?}");

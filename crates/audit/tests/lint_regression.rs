@@ -12,9 +12,19 @@ use mempod_audit::{run_lint, Allowlist};
 const FIXTURE_FILES: &[&str] = &[
     "crates/dram/src/channel.rs",
     "crates/dram/src/mapper.rs",
+    "crates/dram/src/system.rs",
     "crates/sim/src/runner.rs",
+    "crates/sim/src/simulator.rs",
     "crates/core/src/manager.rs",
     "crates/core/src/mempod.rs",
+    "crates/core/src/hma.rs",
+    "crates/core/src/thm.rs",
+    "crates/core/src/cameo.rs",
+    "crates/telemetry/src/metrics.rs",
+    "crates/telemetry/src/ring.rs",
+    "crates/telemetry/src/event.rs",
+    "crates/telemetry/src/sink.rs",
+    "crates/telemetry/src/lib.rs",
     "crates/types/src/addr.rs",
     "crates/types/src/geometry.rs",
 ];
@@ -90,6 +100,54 @@ fn planted_cast_is_found_but_checked_conversion_is_not() {
         .map(|v| (v.file.as_str(), v.rule.as_str()))
         .collect();
     assert_eq!(rules, [("crates/types/src/addr.rs", "lossy-cast")]);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn planted_println_is_found_in_pipeline_modules() {
+    let root = fixture_tree("print");
+    plant(
+        &root,
+        "crates/sim/src/simulator.rs",
+        "//! Fixture.\n\nfn chatty() {\n    println!(\"migrated!\");\n}\n",
+    );
+    plant(
+        &root,
+        "crates/core/src/hma.rs",
+        "//! Fixture.\n\nfn also_chatty() {\n    eprintln!(\"interval done\");\n}\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    assert!(!report.ok());
+    let found: Vec<(&str, usize, &str)> = report
+        .blocking()
+        .map(|v| (v.file.as_str(), v.line, v.rule.as_str()))
+        .collect();
+    assert_eq!(
+        found,
+        [
+            ("crates/core/src/hma.rs", 4, "hot-path-print"),
+            ("crates/sim/src/simulator.rs", 4, "hot-path-print"),
+        ],
+        "{found:?}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn println_in_test_module_is_exempt() {
+    let root = fixture_tree("print-test");
+    plant(
+        &root,
+        "crates/telemetry/src/metrics.rs",
+        "//! Fixture.\n\nfn fine() {}\n\n#[cfg(test)]\nmod tests {\n    \
+         #[test]\n    fn t() {\n        println!(\"debugging a test is fine\");\n    }\n}\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    assert!(
+        report.ok(),
+        "test-only println flagged: {:?}",
+        report.violations
+    );
     std::fs::remove_dir_all(&root).ok();
 }
 

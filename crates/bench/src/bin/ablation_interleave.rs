@@ -44,13 +44,13 @@ fn main() {
             spec.name().to_string(),
             format!("{:.3}", ra.row_hit_rate()),
             format!("{:.3}", rb.row_hit_rate()),
-            format!("{:.1}", ra.ammat_ns()),
-            format!("{:.1}", rb.ammat_ns()),
+            format!("{:.1}", ra.ammat_ns().expect("non-empty run")),
+            format!("{:.1}", rb.ammat_ns().expect("non-empty run")),
         ]);
         json.push(serde_json::json!({
             "workload": spec.name(),
-            "pageframe": {"row_hit": ra.row_hit_rate(), "ammat_ns": ra.ammat_ns()},
-            "linestriped": {"row_hit": rb.row_hit_rate(), "ammat_ns": rb.ammat_ns()},
+            "pageframe": {"row_hit": ra.row_hit_rate(), "ammat_ns": ra.ammat_ns().expect("non-empty run")},
+            "linestriped": {"row_hit": rb.row_hit_rate(), "ammat_ns": rb.ammat_ns().expect("non-empty run")},
         }));
         eprintln!("  [{} done]", spec.name());
     }

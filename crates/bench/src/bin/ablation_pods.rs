@@ -47,7 +47,7 @@ fn main() {
             let mut cfg = opts.sim_config(ManagerKind::MemPod);
             cfg.mgr.geometry = geo;
             let r = Simulator::new(cfg).expect("valid").run(&trace);
-            ammat.push(r.ammat_ns());
+            ammat.push(r.ammat_ns().expect("non-empty run"));
             migrations += r.migration.migrations;
             moved_mb += r.migrated_mb();
             // A 1-pod (centralized) design pays global hops; clustered

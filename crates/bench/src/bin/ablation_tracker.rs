@@ -36,10 +36,17 @@ fn main() {
             Simulator::new(cfg.clone())
                 .expect("valid")
                 .run(&trace)
-                .ammat_ns(),
+                .ammat_ns()
+                .expect("non-empty run"),
         );
         cfg.mgr.mempod_tracker = TrackerKind::FullCounters;
-        fc.push(Simulator::new(cfg).expect("valid").run(&trace).ammat_ns());
+        fc.push(
+            Simulator::new(cfg)
+                .expect("valid")
+                .run(&trace)
+                .ammat_ns()
+                .expect("non-empty run"),
+        );
         eprintln!("  [{} done]", spec.name());
     }
     let mea_mean = geometric_mean(mea.iter().copied());
@@ -67,10 +74,17 @@ fn main() {
             Simulator::new(cfg.clone())
                 .expect("valid")
                 .run(&trace)
-                .ammat_ns(),
+                .ammat_ns()
+                .expect("non-empty run"),
         );
         cfg.mgr.cameo_llp = true;
-        llp.push(Simulator::new(cfg).expect("valid").run(&trace).ammat_ns());
+        llp.push(
+            Simulator::new(cfg)
+                .expect("valid")
+                .run(&trace)
+                .ammat_ns()
+                .expect("non-empty run"),
+        );
     }
     let plain_mean = geometric_mean(plain.iter().copied());
     let llp_mean = geometric_mean(llp.iter().copied());

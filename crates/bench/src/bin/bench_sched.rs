@@ -10,20 +10,32 @@
 //! ns/decision, scan ops, max queue depth, speedup) to seed the repo's
 //! perf trajectory.
 //!
+//! The run also measures **telemetry overhead**: the same drains with a
+//! [`ChannelProbe`] attached, and full simulator runs with null-sink
+//! telemetry vs. none. Both land in `BENCH_telemetry.json`
+//! (`--telemetry-out PATH` to redirect); the acceptance gate is < 2 %
+//! end-to-end overhead with the null sink.
+//!
 //! Run: `cargo run --release -p mempod-bench --bin bench_sched`
-//! (`--smoke` for a CI-scale pass writing `BENCH_sched.smoke.json`;
-//! `--depths a,b,c`, `--seed N`, `--out PATH` to rescope).
+//! (`--smoke` for a CI-scale pass writing `BENCH_sched.smoke.json` and
+//! `BENCH_telemetry.smoke.json`; `--depths a,b,c`, `--seed N`,
+//! `--out PATH` to rescope).
 
 use std::time::Instant;
 
+use mempod_core::ManagerKind;
 use mempod_dram::{Channel, DramTiming, Priority, ReqToken};
-use mempod_types::Picos;
+use mempod_sim::{SimConfig, Simulator};
+use mempod_telemetry::Telemetry;
+use mempod_trace::{TraceGenerator, WorkloadSpec};
+use mempod_types::{Picos, SystemConfig};
 
 struct SchedOpts {
     smoke: bool,
     depths: Vec<usize>,
     seed: u64,
     out: Option<String>,
+    telemetry_out: Option<String>,
 }
 
 impl SchedOpts {
@@ -33,6 +45,7 @@ impl SchedOpts {
             depths: Vec::new(),
             seed: 7,
             out: None,
+            telemetry_out: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -50,8 +63,12 @@ impl SchedOpts {
                     opts.seed = v.parse().expect("--seed must be an integer");
                 }
                 "--out" => opts.out = Some(args.next().expect("--out needs a path")),
+                "--telemetry-out" => {
+                    opts.telemetry_out = Some(args.next().expect("--telemetry-out needs a path"));
+                }
                 other => panic!(
-                    "unknown argument {other}; expected --smoke, --depths a,b,c, --seed N, --out PATH"
+                    "unknown argument {other}; expected --smoke, --depths a,b,c, --seed N, \
+                     --out PATH, --telemetry-out PATH"
                 ),
             }
         }
@@ -122,8 +139,15 @@ struct Measurement {
 }
 
 fn measure(depth: usize, seed: u64, reference: bool) -> Measurement {
+    measure_with_probe(depth, seed, reference, false)
+}
+
+fn measure_with_probe(depth: usize, seed: u64, reference: bool, probe: bool) -> Measurement {
     let mut proto = Channel::new(DramTiming::hbm());
     proto.set_reference_mode(reference);
+    if probe {
+        proto.attach_probe();
+    }
     flood(&mut proto, depth, seed);
     // Best of three timed drains over clones of the flooded channel — the
     // work is deterministic, so the minimum is the least-noise sample (the
@@ -229,7 +253,7 @@ fn main() {
         "speedup_deep": speedup_deep_json,
         "deep_depth": deep_depth,
     });
-    let path = opts.out.unwrap_or_else(|| {
+    let path = opts.out.clone().unwrap_or_else(|| {
         if opts.smoke {
             "BENCH_sched.smoke.json".to_string()
         } else {
@@ -242,4 +266,111 @@ fn main() {
     )
     .expect("write benchmark results");
     println!("\n[saved {path}]");
+
+    telemetry_overhead(&opts);
+}
+
+/// Telemetry overhead gate: the same channel drains with a depth probe
+/// attached, plus full simulator runs with null-sink telemetry vs. none.
+/// The acceptance metric is the end-to-end simulator overhead (< 2 %).
+fn telemetry_overhead(opts: &SchedOpts) {
+    println!("\nTelemetry overhead — probe-attached drains and null-sink runs\n");
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>10}",
+        "depth", "plain req/s", "probed req/s", "overhead"
+    );
+    let mut probe_results = Vec::new();
+    for &depth in &opts.depths {
+        let plain = measure_with_probe(depth, opts.seed, false, false);
+        let probed = measure_with_probe(depth, opts.seed, false, true);
+        assert_eq!(
+            plain.completions, probed.completions,
+            "the probe must not perturb scheduling at depth {depth}"
+        );
+        let overhead_pct = (plain.requests_per_sec / probed.requests_per_sec - 1.0) * 100.0;
+        println!(
+            "{:>8}  {:>14.0}  {:>14.0}  {:>9.2}%",
+            depth, plain.requests_per_sec, probed.requests_per_sec, overhead_pct
+        );
+        probe_results.push(serde_json::json!({
+            "depth": depth,
+            "plain_requests_per_sec": plain.requests_per_sec,
+            "probed_requests_per_sec": probed.requests_per_sec,
+            "overhead_pct": overhead_pct,
+        }));
+    }
+
+    // End-to-end: a MemPod run over a Table-3-style mix, with and without
+    // null-sink telemetry (epoch driver + probes active, no serialization).
+    let requests = if opts.smoke { 150_000 } else { 400_000 };
+    let sys = SystemConfig::tiny();
+    let spec = WorkloadSpec::mix("mix1").expect("mix1 is a Table 3 mix");
+    let trace = TraceGenerator::new(spec, opts.seed).take_requests(requests, &sys.geometry);
+    let time_run = |telemetry: bool| -> (f64, mempod_sim::SimReport) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..5 {
+            let cfg = SimConfig::new(sys.clone(), ManagerKind::MemPod);
+            let mut sim = Simulator::new(cfg).expect("valid config");
+            if telemetry {
+                sim = sim.with_telemetry(Telemetry::null());
+            }
+            let start = Instant::now();
+            let report = sim.run(&trace);
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(report.requests, requests as u64);
+            if secs < best {
+                best = secs;
+            }
+            last = Some(report);
+        }
+        (best, last.expect("at least one repetition"))
+    };
+    let (base_secs, base_report) = time_run(false);
+    let (tel_secs, tel_report) = time_run(true);
+    assert_eq!(
+        base_report.total_stall, tel_report.total_stall,
+        "telemetry must not perturb simulation results"
+    );
+    assert!(
+        !tel_report.timeline.is_empty(),
+        "null-sink telemetry still snapshots epochs into the ring"
+    );
+    let sim_overhead_pct = (tel_secs / base_secs - 1.0) * 100.0;
+    println!(
+        "\nsimulator : {} requests, base {:.3}s, null-sink {:.3}s -> {:+.2}% overhead",
+        requests, base_secs, tel_secs, sim_overhead_pct
+    );
+
+    let json = serde_json::json!({
+        "bench": "telemetry_overhead",
+        "seed": opts.seed,
+        "smoke": opts.smoke,
+        "probe_drains": probe_results,
+        "simulator": {
+            "manager": "mempod",
+            "workload": "mix1",
+            "requests": requests,
+            "base_secs": base_secs,
+            "null_sink_secs": tel_secs,
+            "overhead_pct": sim_overhead_pct,
+            "epochs_snapshotted": tel_report.timeline.len(),
+        },
+        // Acceptance gate: end-to-end null-sink overhead must stay < 2 %.
+        "overhead_pct": sim_overhead_pct,
+        "pass": sim_overhead_pct < 2.0,
+    });
+    let path = opts.telemetry_out.clone().unwrap_or_else(|| {
+        if opts.smoke {
+            "BENCH_telemetry.smoke.json".to_string()
+        } else {
+            "BENCH_telemetry.json".to_string()
+        }
+    });
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write telemetry benchmark results");
+    println!("[saved {path}]");
 }

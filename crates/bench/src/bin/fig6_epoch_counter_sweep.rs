@@ -33,7 +33,7 @@ fn main() {
                 cfg.mgr.mea_entries = counters;
                 cfg.mgr.mea_counter_bits = 16;
                 let r = Simulator::new(cfg).expect("valid").run(&trace);
-                cells[ei][ci].push(r.ammat_ns());
+                cells[ei][ci].push(r.ammat_ns().expect("non-empty run"));
             }
         }
         eprintln!("  [{} done]", spec.name());

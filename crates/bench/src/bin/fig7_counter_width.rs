@@ -36,7 +36,7 @@ fn run_panel(
             cfg.mgr.mea_entries = counters;
             cfg.mgr.mea_counter_bits = bits;
             let r = Simulator::new(cfg).expect("valid").run(&trace);
-            ammat[wi].push(r.ammat_ns());
+            ammat[wi].push(r.ammat_ns().expect("non-empty run"));
             let pods = cfg_pods(&r);
             migs[wi].push(r.migration.migrations_per_interval() / pods);
         }

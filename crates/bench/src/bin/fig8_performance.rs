@@ -6,10 +6,18 @@
 //! Run: `cargo run --release -p mempod-bench --bin fig8_performance`
 //! (add `--smoke` for a CI-scale pass; `--requests N` / `--workloads a,b`
 //! to rescope).
+//!
+//! The workload x mechanism matrix runs on the parallel job runner with a
+//! live progress board: a monitor thread prints a heartbeat line every few
+//! seconds (jobs done, aggregate throughput, stragglers running past 2x
+//! the median job wall time) to stderr while the workers simulate.
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use mempod_bench::{group_means, write_json, Opts, TextTable};
 use mempod_core::ManagerKind;
-use mempod_sim::{normalize_to, SimReport, Simulator};
+use mempod_sim::{normalize_to, try_run_jobs_with_progress, Job, JobState, RunProgress, SimReport};
 
 const KINDS: [ManagerKind; 6] = [
     ManagerKind::NoMigration,
@@ -20,26 +28,85 @@ const KINDS: [ManagerKind; 6] = [
     ManagerKind::HbmOnly,
 ];
 
+/// Prints heartbeat lines until every job on the board is done.
+fn heartbeat(progress: Arc<RunProgress>) {
+    let total = progress.jobs().len();
+    loop {
+        std::thread::sleep(Duration::from_millis(2000));
+        if progress.jobs_done() >= total {
+            return;
+        }
+        let tput = progress.throughput_rps().unwrap_or(0.0);
+        let running: Vec<&str> = progress
+            .jobs()
+            .iter()
+            .filter(|j| j.state() == JobState::Running)
+            .map(|j| j.label())
+            .collect();
+        let stragglers: Vec<&str> = progress
+            .stragglers(2.0)
+            .into_iter()
+            .map(|i| progress.jobs()[i].label())
+            .collect();
+        let mut line = format!(
+            "  [{:6.1}s] {}/{} jobs done, {:.2} Mreq/s, {} running",
+            progress.elapsed_ms() as f64 / 1000.0,
+            progress.jobs_done(),
+            total,
+            tput / 1e6,
+            running.len(),
+        );
+        if !stragglers.is_empty() {
+            line.push_str(&format!(", stragglers: {}", stragglers.join(", ")));
+        }
+        eprintln!("{line}");
+    }
+}
+
 fn main() {
     let opts = Opts::from_args();
     let n = opts.requests_or(6_000_000);
     println!("Figure 8 — AMMAT normalized to no-migration TLM ({n} requests/workload)\n");
+
+    let specs = opts.full_suite();
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        let trace = Arc::new(opts.trace(spec, n));
+        for &k in &KINDS {
+            jobs.push(Job::new(opts.sim_config(k), Arc::clone(&trace)));
+        }
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    eprintln!(
+        "  running {} jobs ({} workloads x {} mechanisms) on {threads} threads",
+        jobs.len(),
+        specs.len(),
+        KINDS.len()
+    );
+    let progress = RunProgress::for_jobs(&jobs);
+    let monitor = {
+        let board = Arc::clone(&progress);
+        std::thread::spawn(move || heartbeat(board))
+    };
+    let flat = try_run_jobs_with_progress(jobs, threads, Some(Arc::clone(&progress)))
+        .expect("valid experiment config");
+    monitor.join().expect("monitor thread exits cleanly");
+    eprintln!(
+        "  [all {} jobs done in {:.1}s]",
+        flat.len(),
+        progress.elapsed_ms() as f64 / 1000.0
+    );
 
     let mut t = TextTable::new(&[
         "workload", "TLM", "MemPod", "HMA", "THM", "CAMEO", "HBM-only",
     ]);
     let mut per_workload: Vec<(String, Vec<SimReport>)> = Vec::new();
 
-    for spec in opts.full_suite() {
-        let trace = opts.trace(&spec, n);
-        let reports: Vec<SimReport> = KINDS
-            .iter()
-            .map(|&k| {
-                Simulator::new(opts.sim_config(k))
-                    .expect("valid experiment config")
-                    .run(&trace)
-            })
-            .collect();
+    for (spec, reports) in specs.iter().zip(flat.chunks(KINDS.len())) {
+        let reports = reports.to_vec();
         let mut row = vec![spec.name().to_string()];
         row.extend(reports.iter().map(|r| {
             let ratio = normalize_to(r, &reports[0]).unwrap_or_else(|| {
@@ -51,7 +118,6 @@ fn main() {
             format!("{ratio:.3}")
         }));
         t.row(row);
-        eprintln!("  [{} done]", spec.name());
         per_workload.push((spec.name().to_string(), reports));
     }
 

@@ -37,8 +37,14 @@ fn main() {
         let tlm = Simulator::new(opts.sim_config(ManagerKind::NoMigration))
             .expect("valid")
             .run(&trace);
+        let tlm_ammat = tlm.ammat_ps().unwrap_or_else(|| {
+            panic!(
+                "TLM baseline for `{}` produced no AMMAT — broken run",
+                spec.name()
+            )
+        });
         assert!(
-            tlm.ammat_ps() > 0.0,
+            tlm_ammat > 0.0,
             "TLM baseline for `{}` produced zero AMMAT — broken run",
             spec.name()
         );
@@ -52,7 +58,7 @@ fn main() {
             }
         }
         eprintln!("  [{} done]", spec.name());
-        all.push((spec.name().to_string(), tlm.ammat_ps(), rows));
+        all.push((spec.name().to_string(), tlm_ammat, rows));
     }
 
     let label = |c: Option<u64>| match c {
@@ -71,7 +77,10 @@ fn main() {
                         .find(|(k, c, _)| *k == kind && *c == cache)
                         .expect("present");
                     let miss = r.meta_cache.map_or(0.0, |s| s.miss_rate());
-                    (w.clone(), (r.ammat_ps() / tlm, miss))
+                    (
+                        w.clone(),
+                        (r.ammat_ps().expect("non-empty run") / tlm, miss),
+                    )
                 })
                 .collect();
             let (_, _, norm) = group_means(&items, |(a, _)| *a);

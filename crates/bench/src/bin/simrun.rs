@@ -6,10 +6,16 @@
 //!     --workload mix9 --manager mempod --requests 4000000 \
 //!     --epoch-us 50 --mea-entries 64 --mea-bits 2 [--future] [--cache-kb 32]
 //! ```
+//!
+//! With `--timeline PATH` the run also streams a per-epoch JSONL timeline
+//! (plus structured migration/stall events) to `PATH`: one `Epoch` line per
+//! 50 µs window carrying per-pod migration counts, MEA evictions, queue
+//! depth p50/p99, the fast/slow tier service split, and AMMAT-so-far.
 
 use mempod_bench::{write_json, Opts};
 use mempod_core::ManagerKind;
 use mempod_sim::Simulator;
+use mempod_telemetry::{FileSink, Telemetry};
 use mempod_trace::{TraceGenerator, WorkloadSpec};
 use mempod_types::Picos;
 
@@ -38,6 +44,7 @@ fn main() {
     let mut cache_kb: Option<u64> = None;
     let mut future = false;
     let mut smoke = false;
+    let mut timeline: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,6 +60,7 @@ fn main() {
             "--cache-kb" => cache_kb = Some(val().parse().expect("integer")),
             "--future" => future = true,
             "--smoke" => smoke = true,
+            "--timeline" => timeline = Some(val()),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -85,15 +93,22 @@ fn main() {
         cfg = cfg.into_future_system();
     }
 
-    let report = Simulator::new(cfg)
-        .expect("valid configuration")
-        .run(&trace);
+    let mut sim = Simulator::new(cfg).expect("valid configuration");
+    if let Some(path) = &timeline {
+        let sink = FileSink::create(path)
+            .unwrap_or_else(|e| panic!("cannot open timeline file {path}: {e}"));
+        sim = sim.with_telemetry(Telemetry::with_sink(Box::new(sink)));
+    }
+    let report = sim.run(&trace);
     println!(
         "workload   : {} ({} requests, {})",
         workload, report.requests, report.duration
     );
     println!("manager    : {}", report.manager);
-    println!("AMMAT      : {:.2} ns", report.ammat_ns());
+    println!(
+        "AMMAT      : {:.2} ns",
+        report.ammat_ns().expect("non-empty run")
+    );
     println!(
         "fast tier  : {:.1}% of requests",
         report.mem_stats.fast_service_fraction() * 100.0
@@ -113,6 +128,16 @@ fn main() {
             .map(|b| format!("{:.1}", *b as f64 / (1 << 20) as f64))
             .collect();
         println!("per-pod MB : [{}]", per.join(", "));
+    }
+    if let Some(path) = &timeline {
+        println!(
+            "timeline   : {} epoch snapshots -> {path}",
+            report.timeline.len().max(
+                std::fs::read_to_string(path)
+                    .map(|t| t.lines().filter(|l| l.contains("\"Epoch\"")).count())
+                    .unwrap_or(0)
+            )
+        );
     }
     if let Some(meta) = report.meta_cache {
         println!(

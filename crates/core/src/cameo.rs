@@ -195,6 +195,12 @@ impl MemoryManager for CameoManager {
             self.stats.bytes_moved,
         );
     }
+
+    /// CAMEO's wasted-migration total (§6.3.2): swap-ins evicted before
+    /// ever being touched in fast memory.
+    fn telemetry_counters(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("cameo.wasted_migrations", self.wasted));
+    }
 }
 
 #[cfg(test)]

@@ -208,6 +208,12 @@ impl MemoryManager for HmaManager {
             self.stats.bytes_moved,
         );
     }
+
+    /// HMA's sort/migrate interval count (each interval pays the sort
+    /// penalty, so interval boundaries are where AMMAT spikes come from).
+    fn telemetry_counters(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("hma.intervals", self.stats.intervals));
+    }
 }
 
 #[cfg(test)]

@@ -255,6 +255,16 @@ pub trait MemoryManager {
     fn audit_invariants(&self, auditor: &mut mempod_audit::InvariantAuditor) {
         let _ = auditor;
     }
+
+    /// Appends this manager's *cumulative* telemetry counters as
+    /// `(name, value)` pairs (e.g. MEA eviction totals, interval counts).
+    /// The epoch snapshot driver polls this at epoch boundaries and diffs
+    /// successive values, so implementations must only ever report
+    /// monotonically non-decreasing counts, without side effects. The
+    /// default reports nothing, which suits the static baselines.
+    fn telemetry_counters(&self, out: &mut Vec<(&'static str, u64)>) {
+        let _ = out;
+    }
 }
 
 /// Builds a manager of the requested kind.
@@ -308,6 +318,25 @@ mod tests {
         for kind in ManagerKind::all() {
             let m = build_manager(kind, &cfg);
             assert_eq!(m.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_are_named_and_static_baselines_report_none() {
+        let cfg = ManagerConfig::tiny();
+        for kind in ManagerKind::all() {
+            let m = build_manager(kind, &cfg);
+            let mut out = Vec::new();
+            m.telemetry_counters(&mut out);
+            if kind.migrates() {
+                assert!(!out.is_empty(), "{kind} should expose counters");
+            } else {
+                assert!(out.is_empty(), "{kind} is static, expected none");
+            }
+            // Polling must be side-effect free and stable.
+            let mut again = Vec::new();
+            m.telemetry_counters(&mut again);
+            assert_eq!(out, again);
         }
     }
 }

@@ -54,6 +54,15 @@ impl PodTracker {
             PodTracker::Full(t, _) => t.reset(),
         }
     }
+
+    /// Cumulative MEA hardware-operation counts (survive `reset`), if this
+    /// pod runs an MEA tracker.
+    fn mea_op_stats(&self) -> Option<mempod_tracker::MeaOpStats> {
+        match self {
+            PodTracker::Mea(t) => Some(t.op_stats()),
+            PodTracker::Full(..) => None,
+        }
+    }
 }
 
 /// Per-pod migration state.
@@ -269,6 +278,33 @@ impl MemoryManager for MemPodManager {
             self.stats.bytes_moved,
             self.stats.per_pod_bytes.iter().sum::<u64>(),
         );
+    }
+
+    /// MemPod's epoch count plus the pods' MEA hardware-operation totals
+    /// (cumulative since construction — `MeaTracker::op_stats` survives the
+    /// per-epoch reset, which is what lets the epoch driver diff them).
+    fn telemetry_counters(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("mempod.epochs", self.stats.intervals));
+        let mut evictions = 0u64;
+        let mut insertions = 0u64;
+        let mut increments = 0u64;
+        let mut sweeps = 0u64;
+        let mut any_mea = false;
+        for pod in &self.pods {
+            if let Some(s) = pod.tracker.mea_op_stats() {
+                any_mea = true;
+                evictions += s.evictions;
+                insertions += s.insertions;
+                increments += s.increments;
+                sweeps += s.decrement_sweeps;
+            }
+        }
+        if any_mea {
+            out.push(("mea.evictions", evictions));
+            out.push(("mea.insertions", insertions));
+            out.push(("mea.increments", increments));
+            out.push(("mea.decrement_sweeps", sweeps));
+        }
     }
 }
 

@@ -168,6 +168,15 @@ impl MemoryManager for ThmManager {
             self.stats.bytes_moved,
         );
     }
+
+    /// Number of segment groups that have ever armed a competing counter
+    /// (the map only grows, so the count is monotone as required).
+    fn telemetry_counters(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push((
+            "thm.counter_groups",
+            mempod_types::convert::u64_from_usize(self.counters.len()),
+        ));
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
+use mempod_telemetry::Log2Histogram;
 use mempod_types::Picos;
 use serde::{Deserialize, Serialize};
 
@@ -204,6 +205,30 @@ impl ChannelStats {
     }
 }
 
+/// Cumulative telemetry observations for one channel, populated only when
+/// a probe is attached ([`Channel::attach_probe`]).
+///
+/// The histogram is cumulative over the channel's lifetime; epoch-level
+/// consumers diff successive copies ([`Log2Histogram::diff`]) to get
+/// per-window percentiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelProbe {
+    /// Queue depth (including the request being granted) sampled at every
+    /// scheduling decision.
+    pub depth: Log2Histogram,
+    /// All-bank refreshes booked while demand or background work was
+    /// queued — refresh blackouts that actually delayed someone.
+    pub stalled_refreshes: u64,
+}
+
+impl ChannelProbe {
+    /// Folds `other`'s observations into `self` (cross-channel aggregate).
+    pub fn merge(&mut self, other: &ChannelProbe) {
+        self.depth.merge(&other.depth);
+        self.stalled_refreshes += other.stalled_refreshes;
+    }
+}
+
 /// One DRAM channel with FR-FCFS scheduling over its banks.
 ///
 /// # Examples
@@ -254,6 +279,10 @@ pub struct Channel {
     /// differential tests and the `bench_sched` comparison.
     #[cfg(any(test, feature = "reference-sched"))]
     reference_mode: bool,
+    /// Optional telemetry probe (queue-depth histogram, refresh stalls).
+    /// Boxed so the disabled case costs one pointer in the channel and one
+    /// branch per scheduling decision.
+    probe: Option<Box<ChannelProbe>>,
 }
 
 impl Channel {
@@ -281,7 +310,21 @@ impl Channel {
             abandoned_picks: 0,
             #[cfg(any(test, feature = "reference-sched"))]
             reference_mode: false,
+            probe: None,
         }
+    }
+
+    /// Attaches a telemetry probe (idempotent). Queue depth is recorded at
+    /// every scheduling decision from then on.
+    pub fn attach_probe(&mut self) {
+        if self.probe.is_none() {
+            self.probe = Some(Box::default());
+        }
+    }
+
+    /// The probe's cumulative observations, if one is attached.
+    pub fn probe(&self) -> Option<&ChannelProbe> {
+        self.probe.as_deref()
     }
 
     /// The channel's timing parameters.
@@ -493,6 +536,11 @@ impl Channel {
                 break;
             };
             self.stats.sched_decisions += 1;
+            if let Some(p) = self.probe.as_deref_mut() {
+                // `take` already removed the granted request; +1 restores
+                // the depth the scheduler actually chose from.
+                p.depth.record(self.queued as u64 + 1);
+            }
             let completion = self.service(&q, decision);
             done.push((q.token, completion));
         }
@@ -529,6 +577,11 @@ impl Channel {
             bank.ready_at = bank.ready_at.max(blackout_end);
         }
         self.stats.refreshes += missed + 1;
+        if self.queued > 0 {
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.stalled_refreshes += missed + 1;
+            }
+        }
         self.next_refresh = last + interval;
     }
 

@@ -39,7 +39,7 @@ pub mod mapper;
 pub mod system;
 pub mod timing;
 
-pub use channel::{Channel, ChannelStats, Priority, ReqToken};
+pub use channel::{Channel, ChannelProbe, ChannelStats, Priority, ReqToken};
 pub use mapper::{AddressMapper, Interleave, PhysLoc};
 pub use system::{Completion, MemLayout, MemorySystem, SystemStats};
 pub use timing::DramTiming;

@@ -8,7 +8,7 @@
 use mempod_types::{AccessKind, FrameId, Picos, Tier, LINE_SIZE, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
-use crate::channel::{Channel, ChannelStats, Priority, ReqToken};
+use crate::channel::{Channel, ChannelProbe, ChannelStats, Priority, ReqToken};
 use crate::mapper::{AddressMapper, Interleave};
 use crate::timing::DramTiming;
 
@@ -325,6 +325,33 @@ impl MemorySystem {
         (PAGE_SIZE / LINE_SIZE) as u32
     }
 
+    /// Attaches a telemetry probe to every channel (idempotent). From then
+    /// on each scheduling decision records its queue depth and refresh
+    /// blackouts that delayed queued work are counted.
+    pub fn attach_probes(&mut self) {
+        for ch in &mut self.channels {
+            ch.attach_probe();
+        }
+    }
+
+    /// Whether probes are attached.
+    pub fn probes_attached(&self) -> bool {
+        self.channels.iter().any(|ch| ch.probe().is_some())
+    }
+
+    /// Cumulative probe observations merged across all channels (`None`
+    /// when no probe is attached). Epoch-level consumers diff successive
+    /// summaries to derive per-window queue-depth percentiles.
+    pub fn probe_summary(&self) -> Option<ChannelProbe> {
+        let mut out: Option<ChannelProbe> = None;
+        for ch in &self.channels {
+            if let Some(p) = ch.probe() {
+                out.get_or_insert_with(ChannelProbe::default).merge(p);
+            }
+        }
+        out
+    }
+
     /// States every channel's invariants against `auditor`: monotonic
     /// simulated time and no abandoned work ([`Channel::audit_time`]), plus
     /// the indexed scheduler's structural invariants — per-sub-queue seq
@@ -452,6 +479,27 @@ mod tests {
         let s = mem.stats();
         assert_eq!(s.total().sched_decisions, 16);
         assert!(s.total().sched_scan_ops > 0);
+    }
+
+    #[test]
+    fn probes_sample_every_scheduling_decision() {
+        let mut mem = MemorySystem::new(MemLayout::tiny());
+        assert!(mem.probe_summary().is_none());
+        assert!(!mem.probes_attached());
+        mem.attach_probes();
+        mem.attach_probes(); // idempotent
+        assert!(mem.probes_attached());
+        for i in 0..32u64 {
+            mem.submit(FrameId(i % 4), 0, AccessKind::Read, Picos::ZERO);
+        }
+        let _ = mem.drain_all();
+        let p = mem.probe_summary().expect("probes attached");
+        assert_eq!(p.depth.count(), 32, "one sample per decision");
+        assert!(p.depth.max().expect("non-empty") >= 1);
+        assert!(p.depth.min().expect("non-empty") >= 1);
+        // Clone carries the probe along (runner clones flooded channels).
+        let copy = mem.clone();
+        assert_eq!(copy.probe_summary().expect("cloned").depth.count(), 32);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //!     .take_requests(5_000, &system.geometry);
 //! let cfg = SimConfig::new(system, ManagerKind::MemPod);
 //! let report = Simulator::new(cfg).expect("valid config").run(&trace);
-//! assert!(report.ammat_ps() > 0.0);
+//! assert!(report.ammat_ps().expect("non-empty trace") > 0.0);
 //! assert_eq!(report.requests, 5_000);
 //! ```
 
@@ -41,7 +41,9 @@ pub mod simulator;
 
 pub use config::{SimConfig, SimError};
 pub use metrics::{geometric_mean, normalize_to, SimReport};
-pub use runner::{try_run_jobs, Job};
+pub use runner::{
+    try_run_jobs, try_run_jobs_with_progress, Job, JobProgress, JobState, RunProgress,
+};
 pub use simulator::Simulator;
 
 /// Runs all jobs on `threads` workers, returning reports in job order.

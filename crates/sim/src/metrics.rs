@@ -2,6 +2,7 @@
 
 use mempod_core::{ManagerKind, MetaCacheStats, MigrationStats};
 use mempod_dram::SystemStats;
+use mempod_telemetry::EpochSnapshot;
 use mempod_types::Picos;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,12 @@ pub struct SimReport {
     pub injected_meta_requests: u64,
     /// DRAM-level statistics (row hits, tier service split, ...).
     pub mem_stats: SystemStats,
+    /// Per-epoch snapshots retained by the telemetry ring (empty unless the
+    /// run had telemetry attached; the full series streams to the JSONL
+    /// sink). Skipped in serialized reports — the timeline's serialized
+    /// form *is* the JSONL stream.
+    #[serde(skip)]
+    pub timeline: Vec<EpochSnapshot>,
 }
 
 impl SimReport {
@@ -44,22 +51,25 @@ impl SimReport {
             injected_migration_requests: 0,
             injected_meta_requests: 0,
             mem_stats: SystemStats::default(),
+            timeline: Vec::new(),
         }
     }
 
     /// Average Main Memory Access Time in picoseconds: total stall divided
     /// by the number of *original* requests (paper §6.2).
-    pub fn ammat_ps(&self) -> f64 {
-        if self.requests == 0 {
-            0.0
-        } else {
-            self.total_stall.as_ps() as f64 / self.requests as f64
-        }
+    ///
+    /// Returns `None` for a report with zero requests — an empty or broken
+    /// run has no access time, and a silent `0.0` used to flow into
+    /// normalization baselines and geomeans where it *inflated* summaries
+    /// instead of failing (same failure mode as the [`normalize_to`] fix).
+    pub fn ammat_ps(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.total_stall.as_ps() as f64 / self.requests as f64)
     }
 
-    /// AMMAT in nanoseconds (for human-readable tables).
-    pub fn ammat_ns(&self) -> f64 {
-        self.ammat_ps() / 1000.0
+    /// AMMAT in nanoseconds (for human-readable tables); `None` for a
+    /// zero-request report like [`ammat_ps`](SimReport::ammat_ps).
+    pub fn ammat_ns(&self) -> Option<f64> {
+        self.ammat_ps().map(|ps| ps / 1000.0)
     }
 
     /// Row-buffer hit rate across all channels.
@@ -76,14 +86,15 @@ impl SimReport {
 /// `a / b` AMMAT ratio: `normalize_to(&report, &baseline)` below 1.0 means
 /// the report beats the baseline.
 ///
-/// Returns `None` when the baseline AMMAT is zero (an empty or broken
-/// baseline run). Callers must surface that case loudly — a silent `0.0`
-/// here used to flow into [`geometric_mean`], which skips non-positive
-/// values, so a broken baseline *inflated* summary geomeans instead of
-/// failing.
+/// Returns `None` when either AMMAT is undefined (zero requests) or the
+/// baseline AMMAT is zero (an empty or broken baseline run). Callers must
+/// surface that case loudly — a silent `0.0` here used to flow into
+/// [`geometric_mean`], which skips non-positive values, so a broken
+/// baseline *inflated* summary geomeans instead of failing.
 pub fn normalize_to(report: &SimReport, baseline: &SimReport) -> Option<f64> {
-    let b = baseline.ammat_ps();
-    (b > 0.0).then(|| report.ammat_ps() / b)
+    let a = report.ammat_ps()?;
+    let b = baseline.ammat_ps()?;
+    (b > 0.0).then(|| a / b)
 }
 
 /// Geometric mean of a ratio series (the conventional way to average
@@ -113,14 +124,15 @@ mod tests {
         let mut r = SimReport::new("w", ManagerKind::MemPod);
         r.requests = 100;
         r.total_stall = Picos(50_000);
-        assert!((r.ammat_ps() - 500.0).abs() < 1e-9);
-        assert!((r.ammat_ns() - 0.5).abs() < 1e-9);
+        assert!((r.ammat_ps().expect("has requests") - 500.0).abs() < 1e-9);
+        assert!((r.ammat_ns().expect("has requests") - 0.5).abs() < 1e-9);
     }
 
     #[test]
-    fn empty_report_has_zero_ammat() {
+    fn empty_report_has_no_ammat() {
         let r = SimReport::new("w", ManagerKind::Hma);
-        assert_eq!(r.ammat_ps(), 0.0);
+        assert_eq!(r.ammat_ps(), None);
+        assert_eq!(r.ammat_ns(), None);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! [`SimError`]; the panicking convenience wrapper
 //! [`run_jobs`](crate::run_jobs) lives at the crate surface instead.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use mempod_trace::Trace;
 
@@ -48,6 +49,186 @@ fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     }
 }
 
+/// Lifecycle of one job within a monitored run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Not yet picked up by a worker.
+    Pending,
+    /// Currently simulating on a worker thread.
+    Running,
+    /// Finished (successfully or with a config error).
+    Done,
+}
+
+const STATE_PENDING: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_DONE: u8 = 2;
+
+/// Live view of one job: written by its worker, read by a monitor thread.
+///
+/// All fields are lock-free; a monitor polling mid-update sees a slightly
+/// stale but internally plausible picture (e.g. `Done` with the final
+/// request count a poll late), never a torn one.
+#[derive(Debug)]
+pub struct JobProgress {
+    /// Short human label (`workload/manager`).
+    label: String,
+    /// Foreground requests simulated so far (batched by the simulator, so
+    /// this trails the true count by at most the flush granularity).
+    requests_done: Arc<AtomicU64>,
+    /// Total requests this job will simulate.
+    total_requests: u64,
+    state: AtomicU8,
+    /// Milliseconds after run start when the worker picked the job up.
+    started_ms: AtomicU64,
+    /// Milliseconds after run start when the job finished.
+    finished_ms: AtomicU64,
+}
+
+impl JobProgress {
+    fn new(label: String, total_requests: u64) -> Self {
+        JobProgress {
+            label,
+            requests_done: Arc::new(AtomicU64::new(0)),
+            total_requests,
+            state: AtomicU8::new(STATE_PENDING),
+            started_ms: AtomicU64::new(0),
+            finished_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// The job's short label (`workload/manager`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Requests simulated so far.
+    pub fn requests_done(&self) -> u64 {
+        self.requests_done.load(Ordering::Relaxed)
+    }
+
+    /// Requests the job will simulate in total.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_RUNNING => JobState::Running,
+            STATE_DONE => JobState::Done,
+            _ => JobState::Pending,
+        }
+    }
+
+    /// Milliseconds after run start when a worker picked the job up
+    /// (`None` while pending).
+    pub fn started_ms(&self) -> Option<u64> {
+        (self.state() != JobState::Pending).then(|| self.started_ms.load(Ordering::Relaxed))
+    }
+
+    /// Wall-clock milliseconds the job ran for (`None` until done).
+    pub fn wall_ms(&self) -> Option<u64> {
+        (self.state() == JobState::Done).then(|| {
+            self.finished_ms
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.started_ms.load(Ordering::Relaxed))
+        })
+    }
+
+    /// How long the job has been running as of `elapsed_ms` into the run
+    /// (`None` unless currently running).
+    pub fn running_for_ms(&self, elapsed_ms: u64) -> Option<u64> {
+        (self.state() == JobState::Running)
+            .then(|| elapsed_ms.saturating_sub(self.started_ms.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared live view of a whole [`try_run_jobs_with_progress`] batch.
+///
+/// Create one with [`RunProgress::for_jobs`], hand a clone of the `Arc` to
+/// a monitor thread, and pass it to the runner; the monitor polls
+/// [`total_done`](RunProgress::total_done) /
+/// [`stragglers`](RunProgress::stragglers) at its own cadence while the
+/// workers crunch.
+#[derive(Debug)]
+pub struct RunProgress {
+    origin: Instant,
+    jobs: Vec<JobProgress>,
+}
+
+impl RunProgress {
+    /// A progress board with one slot per job, labelled
+    /// `workload/manager`. Clocks start now.
+    pub fn for_jobs(jobs: &[Job]) -> Arc<Self> {
+        Arc::new(RunProgress {
+            origin: Instant::now(),
+            jobs: jobs
+                .iter()
+                .map(|j| {
+                    JobProgress::new(
+                        format!("{}/{}", j.trace.name(), j.cfg.manager),
+                        j.trace.len() as u64,
+                    )
+                })
+                .collect(),
+        })
+    }
+
+    /// Per-job progress slots, in job order.
+    pub fn jobs(&self) -> &[JobProgress] {
+        &self.jobs
+    }
+
+    /// Milliseconds since the board was created.
+    pub fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Requests simulated so far across every job.
+    pub fn total_done(&self) -> u64 {
+        self.jobs.iter().map(JobProgress::requests_done).sum()
+    }
+
+    /// Jobs finished so far.
+    pub fn jobs_done(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.state() == JobState::Done)
+            .count()
+    }
+
+    /// Aggregate throughput in requests per second since run start
+    /// (`None` in the first millisecond, before the clock can divide).
+    pub fn throughput_rps(&self) -> Option<f64> {
+        let ms = self.elapsed_ms();
+        (ms > 0).then(|| self.total_done() as f64 * 1000.0 / ms as f64)
+    }
+
+    /// Indices of *stragglers*: jobs still running after more than
+    /// `factor` × the median wall time of completed jobs. Empty until at
+    /// least one job has completed (there is no baseline to compare to).
+    pub fn stragglers(&self, factor: f64) -> Vec<usize> {
+        let mut walls: Vec<u64> = self.jobs.iter().filter_map(JobProgress::wall_ms).collect();
+        if walls.is_empty() {
+            return Vec::new();
+        }
+        walls.sort_unstable();
+        let median = walls[walls.len() / 2];
+        let threshold = (median as f64 * factor).max(1.0);
+        let elapsed = self.elapsed_ms();
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| {
+                j.running_for_ms(elapsed)
+                    .is_some_and(|ms| ms as f64 > threshold)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
 /// Runs all jobs on `threads` workers, returning reports in job order.
 ///
 /// # Errors
@@ -56,6 +237,25 @@ fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
 /// is rejected by [`Simulator::new`]. Remaining jobs still run; only the
 /// result assembly short-circuits.
 pub fn try_run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<SimReport>, SimError> {
+    try_run_jobs_with_progress(jobs, threads, None)
+}
+
+/// [`try_run_jobs`] with an optional live progress board.
+///
+/// When `progress` is supplied it must come from [`RunProgress::for_jobs`]
+/// on the same job list (slot `i` tracks job `i`; a shorter board simply
+/// leaves later jobs untracked). Workers flip each slot to `Running`/`Done`
+/// and stream batched request counts into it via
+/// [`Simulator::with_progress`].
+///
+/// # Errors
+///
+/// Same contract as [`try_run_jobs`].
+pub fn try_run_jobs_with_progress(
+    jobs: Vec<Job>,
+    threads: usize,
+    progress: Option<Arc<RunProgress>>,
+) -> Result<Vec<SimReport>, SimError> {
     let threads = threads.max(1).min(jobs.len().max(1));
     let n = jobs.len();
     let jobs = Arc::new(jobs);
@@ -71,7 +271,24 @@ pub fn try_run_jobs(jobs: Vec<Job>, threads: usize) -> Result<Vec<SimReport>, Si
                     break;
                 }
                 let job = &jobs[i];
-                let outcome = Simulator::new(job.cfg.clone()).map(|sim| sim.run(&job.trace));
+                let slot = progress.as_deref().and_then(|p| p.jobs.get(i));
+                if let Some(slot) = slot {
+                    let now = progress.as_deref().map_or(0, |p| p.elapsed_ms());
+                    slot.started_ms.store(now, Ordering::Relaxed);
+                    slot.state.store(STATE_RUNNING, Ordering::Release);
+                }
+                let outcome = Simulator::new(job.cfg.clone()).map(|sim| {
+                    let sim = match slot {
+                        Some(slot) => sim.with_progress(Arc::clone(&slot.requests_done)),
+                        None => sim,
+                    };
+                    sim.run(&job.trace)
+                });
+                if let Some(slot) = slot {
+                    let now = progress.as_deref().map_or(0, |p| p.elapsed_ms());
+                    slot.finished_ms.store(now, Ordering::Relaxed);
+                    slot.state.store(STATE_DONE, Ordering::Release);
+                }
                 lock_unpoisoned(&results)[i] = Some(outcome);
             });
         }
@@ -131,6 +348,54 @@ mod tests {
         assert!(try_run_jobs(Vec::new(), 8)
             .expect("empty is valid")
             .is_empty());
+    }
+
+    #[test]
+    fn progress_board_tracks_every_job_to_done() {
+        let sys = SystemConfig::tiny();
+        let trace = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 1)
+                .take_requests(5_000, &sys.geometry),
+        );
+        let jobs: Vec<Job> = [ManagerKind::MemPod, ManagerKind::NoMigration]
+            .iter()
+            .map(|&k| Job::new(SimConfig::new(sys.clone(), k), trace.clone()))
+            .collect();
+        let progress = RunProgress::for_jobs(&jobs);
+        assert_eq!(progress.jobs().len(), 2);
+        assert_eq!(progress.jobs()[0].state(), JobState::Pending);
+        assert_eq!(progress.jobs()[0].total_requests(), 5_000);
+        assert!(progress.jobs()[0].label().contains("MemPod"));
+
+        let reports = try_run_jobs_with_progress(jobs, 2, Some(Arc::clone(&progress)))
+            .expect("valid configs");
+        assert_eq!(reports.len(), 2);
+        for (slot, report) in progress.jobs().iter().zip(&reports) {
+            assert_eq!(slot.state(), JobState::Done);
+            assert_eq!(slot.requests_done(), report.requests);
+            assert!(slot.wall_ms().is_some());
+            assert!(slot.started_ms().is_some());
+        }
+        assert_eq!(progress.total_done(), 10_000);
+        assert_eq!(progress.jobs_done(), 2);
+        // Nothing is still running, so nothing can be a straggler.
+        assert!(progress.stragglers(2.0).is_empty());
+    }
+
+    #[test]
+    fn stragglers_need_a_completed_baseline() {
+        let sys = SystemConfig::tiny();
+        let trace = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 1).take_requests(100, &sys.geometry),
+        );
+        let jobs = vec![Job::new(
+            SimConfig::new(sys, ManagerKind::NoMigration),
+            trace,
+        )];
+        let progress = RunProgress::for_jobs(&jobs);
+        // No job has completed yet: no baseline, no stragglers.
+        assert!(progress.stragglers(1.0).is_empty());
+        assert_eq!(progress.total_done(), 0);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Property tests for the telemetry primitives: histogram percentile
+//! bounds under arbitrary samples, snapshot-ring wraparound, and JSONL
+//! round-trips through the vendored serde shims.
+//!
+//! The vendored proptest shim supports range strategies only, so
+//! collection-shaped inputs are derived from a sampled seed with a
+//! splitmix-style generator (the same idiom as `remap_props.rs` in
+//! `mempod-core`).
+
+use std::collections::HashMap;
+
+use mempod_telemetry::{EpochSnapshot, Event, EventKind, Log2Histogram, SnapshotRing};
+use proptest::prelude::*;
+use serde::Deserialize as _;
+
+/// Xorshift step for deriving an unbounded value stream from one seed.
+fn next(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// `n` samples spanning the full u64 range (xorshift output is uniform
+/// over non-zero u64), derived from `seed`.
+fn samples_from(seed: u64, n: usize) -> Vec<u64> {
+    let mut x = seed;
+    (0..n).map(|_| next(&mut x)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any non-empty sample set, percentiles are ordered and bounded:
+    /// min <= p50 <= p99 <= max, and every quantile answer is clamped into
+    /// the observed [min, max] range.
+    #[test]
+    fn histogram_percentiles_are_ordered_and_bounded(
+        seed in 1u64..u64::MAX,
+        n in 1usize..2000,
+        shift in 0u32..40,
+    ) {
+        // Shifting narrows the dynamic range so small-spread and
+        // wide-spread sample sets are both exercised.
+        let samples: Vec<u64> =
+            samples_from(seed, n).into_iter().map(|v| v >> shift).collect();
+        let mut h = Log2Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let lo = *samples.iter().min().expect("non-empty");
+        let hi = *samples.iter().max().expect("non-empty");
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
+        let p50 = h.value_at_quantile(0.50).expect("non-empty");
+        let p99 = h.value_at_quantile(0.99).expect("non-empty");
+        prop_assert!(lo <= p50, "min {} > p50 {}", lo, p50);
+        prop_assert!(p50 <= p99, "p50 {} > p99 {}", p50, p99);
+        prop_assert!(p99 <= hi, "p99 {} > max {}", p99, hi);
+        // Quantiles are monotone in q.
+        let mut prev = h.value_at_quantile(0.0).expect("non-empty");
+        for q in [0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.value_at_quantile(q).expect("non-empty");
+            prop_assert!(v >= prev, "quantile {} went backwards", q);
+            prev = v;
+        }
+    }
+
+    /// Merging two histograms adds counts, sums, and widens min/max;
+    /// `diff` then recovers the merged-in window at the bucket level.
+    #[test]
+    fn histogram_merge_is_additive_and_diff_undoes_it(
+        seed_a in 1u64..u64::MAX,
+        seed_b in 1u64..u64::MAX,
+        na in 1usize..300,
+        nb in 1usize..300,
+    ) {
+        let mut ha = Log2Histogram::new();
+        let mut hb = Log2Histogram::new();
+        for s in samples_from(seed_a, na) { ha.record(s >> 16); }
+        for s in samples_from(seed_b, nb) { hb.record(s >> 16); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), ha.count() + hb.count());
+        prop_assert_eq!(merged.sum(), ha.sum() + hb.sum());
+        prop_assert_eq!(merged.min(), ha.min().min(hb.min()));
+        prop_assert_eq!(merged.max(), ha.max().max(hb.max()));
+        let window = merged.diff(&ha);
+        prop_assert_eq!(window.count(), hb.count());
+        prop_assert_eq!(window.sum(), hb.sum());
+    }
+
+    /// Pushing more snapshots than the ring holds keeps exactly the last
+    /// `cap` of them, in order, while `total_pushed` counts everything.
+    #[test]
+    fn ring_wraparound_keeps_the_newest(
+        cap in 1usize..64,
+        pushes in 0usize..300,
+    ) {
+        let mut ring = SnapshotRing::new(cap);
+        for i in 0..pushes {
+            ring.push(EpochSnapshot::empty(i as u64, i as u64 * 50));
+        }
+        prop_assert_eq!(ring.total_pushed(), pushes as u64);
+        prop_assert_eq!(ring.len(), pushes.min(cap));
+        let kept: Vec<u64> = ring.iter().map(|s| s.epoch).collect();
+        let expect: Vec<u64> =
+            (pushes.saturating_sub(cap)..pushes).map(|i| i as u64).collect();
+        prop_assert_eq!(kept, expect);
+        if pushes > 0 {
+            prop_assert_eq!(
+                ring.latest().map(|s| s.epoch),
+                Some(pushes as u64 - 1)
+            );
+        }
+    }
+
+    /// An arbitrary epoch snapshot survives a JSONL round-trip through the
+    /// vendored serde_json shim bit-for-bit.
+    #[test]
+    fn epoch_snapshot_jsonl_round_trips(
+        seed in 1u64..u64::MAX,
+        epoch in 0u64..1 << 32,
+        requests in 0u64..1 << 40,
+        migs in 0u64..1 << 20,
+        pods in 0usize..16,
+        with_p50 in 0u8..2,
+        frac_millis in 0u32..=1000,
+        counters in 0usize..8,
+    ) {
+        let mut x = seed;
+        let mut snap = EpochSnapshot::empty(epoch, epoch * 50_000_000);
+        snap.requests = requests;
+        snap.requests_delta = requests.min(977);
+        snap.migrations = migs;
+        snap.migrations_delta = migs.min(7);
+        snap.per_pod_bytes_delta = (0..pods).map(|_| next(&mut x) >> 34).collect();
+        if with_p50 == 1 {
+            let p50 = next(&mut x) >> 44;
+            snap.queue_depth_p50 = Some(p50);
+            snap.queue_depth_p99 = Some(p50 * 2);
+            snap.queue_depth_max = Some(p50 * 3);
+        }
+        snap.fast_service_fraction = Some(f64::from(frac_millis) / 1000.0);
+        snap.ammat_ps_so_far = (requests > 0).then_some(123.5);
+        let names = ["mea.evictions", "mea.insertions", "mempod.epochs",
+                     "hma.intervals", "thm.counter_groups",
+                     "cameo.wasted_migrations", "a.b", "c.d"];
+        snap.manager = (0..counters)
+            .map(|i| (names[i].to_string(), next(&mut x) >> 20))
+            .collect::<HashMap<String, u64>>();
+
+        let event = Event::new(snap.t_ps, EventKind::Epoch(snap));
+        let line = event.to_jsonl();
+        prop_assert!(!line.is_empty());
+        prop_assert!(!line.contains('\n'));
+        let value = serde_json::from_str(&line).expect("valid JSON line");
+        let back = Event::deserialize(&value).expect("round trip");
+        prop_assert_eq!(back, event);
+    }
+}
+
+#[test]
+fn ring_drain_empties_but_remembers_total() {
+    let mut ring = SnapshotRing::new(4);
+    for i in 0..9 {
+        ring.push(EpochSnapshot::empty(i, i * 50));
+    }
+    let drained = ring.drain();
+    assert_eq!(drained.len(), 4);
+    assert_eq!(drained[0].epoch, 5);
+    assert!(ring.is_empty());
+    assert_eq!(ring.total_pushed(), 9);
+}

@@ -31,14 +31,15 @@ fn main() {
             let report = Simulator::new(SimConfig::new(system.clone(), kind))
                 .expect("valid config")
                 .run(&trace);
+            let ammat_ps = report.ammat_ps().expect("non-empty trace");
             if kind == ManagerKind::NoMigration {
-                tlm_ammat = report.ammat_ps();
+                tlm_ammat = ammat_ps;
             }
             println!(
                 "  {:>8}: AMMAT {:>6.1} ns ({:.2}x TLM), fast-tier service {:>5.1}%",
                 kind.to_string(),
-                report.ammat_ns(),
-                report.ammat_ps() / tlm_ammat,
+                ammat_ps / 1000.0,
+                ammat_ps / tlm_ammat,
                 report.mem_stats.fast_service_fraction() * 100.0,
             );
         }

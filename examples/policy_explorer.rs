@@ -22,7 +22,7 @@ fn main() {
         .run(&trace);
     println!(
         "== {workload}: MemPod AMMAT normalized to TLM ({:.1} ns) ==",
-        tlm.ammat_ns()
+        tlm.ammat_ns().expect("non-empty trace")
     );
 
     let epochs_us = [25u64, 50, 100, 250];
@@ -39,7 +39,8 @@ fn main() {
             cfg.mgr.epoch = Picos::from_us(epoch);
             cfg.mgr.mea_entries = c;
             let r = Simulator::new(cfg).expect("valid config").run(&trace);
-            print!(" {:>8.3}", r.ammat_ps() / tlm.ammat_ps());
+            let norm = mempod_suite::sim::normalize_to(&r, &tlm).expect("non-empty runs");
+            print!(" {norm:>8.3}");
         }
         println!();
     }

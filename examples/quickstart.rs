@@ -30,7 +30,7 @@ fn main() {
         println!(
             "{:>8}: AMMAT {:>6.1} ns | {:>5.1}% served from HBM | row-buffer hits {:>4.1}% | {} migrations ({:.1} MB moved)",
             kind.to_string(),
-            report.ammat_ns(),
+            report.ammat_ns().expect("non-empty trace"),
             report.mem_stats.fast_service_fraction() * 100.0,
             report.row_hit_rate() * 100.0,
             report.migration.migrations,

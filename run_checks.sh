@@ -21,21 +21,62 @@ step "cargo test (debug-invariants)" \
     cargo test -q --features debug-invariants --offline
 
 # Scheduler benchmark smoke: must run and emit valid JSON with the
-# indexed-vs-reference speedup field (full-scale numbers live in
-# BENCH_sched.json; refresh with `cargo run --release -p mempod-bench
-# --bin bench_sched`).
+# indexed-vs-reference speedup field, and the telemetry-overhead gate
+# must pass — null-sink end-to-end overhead < 2% outside measurement
+# noise (full-scale numbers live in BENCH_sched.json and
+# BENCH_telemetry.json; refresh with `cargo run --release -p
+# mempod-bench --bin bench_sched`).
 bench_smoke() {
     cargo run -q --release -p mempod-bench --bin bench_sched --offline -- \
-        --smoke --out BENCH_sched.smoke.json
+        --smoke --out BENCH_sched.smoke.json \
+        --telemetry-out BENCH_telemetry.smoke.json
     python3 -c "
 import json
 d = json.load(open('BENCH_sched.smoke.json'))
 assert d['bench'] == 'sched_drain' and d['results'], 'malformed benchmark JSON'
 assert all('speedup' in r for r in d['results'])
 print('BENCH_sched.smoke.json OK:', len(d['results']), 'depths')
+t = json.load(open('BENCH_telemetry.smoke.json'))
+assert t['bench'] == 'telemetry_overhead', 'malformed telemetry JSON'
+assert t['pass'], f\"null-sink overhead gate failed: {t['overhead_pct']:.2f}%\"
+print(f\"BENCH_telemetry.smoke.json OK: {t['overhead_pct']:+.2f}% overhead\")
 "
 }
 step "bench_sched --smoke" bench_smoke
+
+# Timeline smoke: simrun must stream a per-epoch JSONL timeline on a
+# Table 3 mix with the fields the report tooling consumes — strictly
+# increasing epochs, per-pod migration deltas, manager (MEA) counters,
+# queue-depth percentiles, and the tier service split.
+timeline_smoke() {
+    cargo run -q --release -p mempod-bench --bin simrun --offline -- \
+        --workload mix1 --manager mempod --requests 120000 --smoke \
+        --timeline timeline.smoke.jsonl
+    python3 -c "
+import json
+epochs = []
+with open('timeline.smoke.jsonl') as f:
+    for line in f:
+        event = json.loads(line)
+        assert 't_ps' in event and 'kind' in event, 'malformed event line'
+        if isinstance(event['kind'], dict) and 'Epoch' in event['kind']:
+            epochs.append(event['kind']['Epoch'])
+assert epochs, 'timeline produced no epoch snapshots'
+assert all(a['epoch'] < b['epoch'] for a, b in zip(epochs, epochs[1:])), \
+    'epoch numbers must be strictly increasing'
+for s in epochs:
+    for field in ('requests_delta', 'migrations_delta', 'per_pod_bytes_delta',
+                  'fast_service_fraction', 'manager'):
+        assert field in s, f'epoch snapshot missing {field}'
+assert any('mea.evictions' in s['manager'] for s in epochs), 'no MEA counters'
+assert any(s.get('queue_depth_p50') is not None for s in epochs), 'no depth p50'
+assert any(s.get('queue_depth_p99') is not None for s in epochs), 'no depth p99'
+assert any(s['migrations_delta'] > 0 for s in epochs), 'no migrations observed'
+print('timeline.smoke.jsonl OK:', len(epochs), 'epoch snapshots')
+"
+    rm -f timeline.smoke.jsonl
+}
+step "simrun --timeline smoke" timeline_smoke
 
 echo
 echo "All checks passed."

@@ -29,7 +29,7 @@
 //!     .take_requests(20_000, &system.geometry);
 //! let cfg = SimConfig::new(system, ManagerKind::MemPod);
 //! let report = Simulator::new(cfg).expect("valid config").run(&trace);
-//! assert!(report.ammat_ps() > 0.0);
+//! assert!(report.ammat_ps().expect("non-empty trace") > 0.0);
 //! ```
 
 pub use mempod_core as core;

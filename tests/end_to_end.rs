@@ -26,7 +26,10 @@ fn every_manager_survives_every_style_of_workload() {
             let cfg = SimConfig::new(SystemConfig::tiny(), kind);
             let r = Simulator::new(cfg).expect("valid").run(&t);
             assert_eq!(r.requests, 30_000, "{workload}/{kind}");
-            assert!(r.ammat_ps() > 0.0, "{workload}/{kind}");
+            assert!(
+                r.ammat_ps().expect("has requests") > 0.0,
+                "{workload}/{kind}"
+            );
             assert!(r.total_stall.as_ps() > 0, "{workload}/{kind}");
         }
     }
@@ -75,7 +78,7 @@ fn ammat_denominator_is_the_original_request_count() {
         .expect("valid")
         .run(&t);
     let expect = r.total_stall.as_ps() as f64 / 20_000.0;
-    assert!((r.ammat_ps() - expect).abs() < 1e-9);
+    assert!((r.ammat_ps().expect("has requests") - expect).abs() < 1e-9);
 }
 
 #[test]
@@ -120,7 +123,7 @@ fn future_system_widens_mempods_lead() {
         };
         let tlm = build(ManagerKind::NoMigration);
         let pod = build(ManagerKind::MemPod);
-        pod.ammat_ps() / tlm.ammat_ps()
+        pod.ammat_ps().expect("has requests") / tlm.ammat_ps().expect("has requests")
     };
     let today = norm(false);
     let future = norm(true);

@@ -28,10 +28,10 @@ fn hbm_only_is_the_lower_bound() {
         ] {
             let r = run(w, kind, 60_000);
             assert!(
-                hbm.ammat_ps() <= r.ammat_ps() * 1.02,
+                hbm.ammat_ps().expect("has requests") <= r.ammat_ps().expect("has requests") * 1.02,
                 "{w}: HBM-only ({:.1}ns) must not lose to {kind} ({:.1}ns)",
-                hbm.ammat_ns(),
-                r.ammat_ns()
+                hbm.ammat_ns().expect("has requests"),
+                r.ammat_ns().expect("has requests")
             );
         }
     }
@@ -42,7 +42,7 @@ fn ddr_only_is_the_upper_bound() {
     let w = "gcc";
     let ddr = run(w, ManagerKind::DdrOnly, 60_000);
     let tlm = run(w, ManagerKind::NoMigration, 60_000);
-    assert!(ddr.ammat_ps() > tlm.ammat_ps());
+    assert!(ddr.ammat_ps().expect("has requests") > tlm.ammat_ps().expect("has requests"));
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn mempod_beats_tlm_on_skewed_workloads() {
     for w in ["gcc", "cactus"] {
         let tlm = run(w, ManagerKind::NoMigration, 250_000);
         let pod = run(w, ManagerKind::MemPod, 250_000);
-        if pod.ammat_ps() < tlm.ammat_ps() {
+        if pod.ammat_ps().expect("has requests") < tlm.ammat_ps().expect("has requests") {
             wins += 1;
         }
     }
@@ -92,10 +92,10 @@ fn streaming_workload_punishes_migration() {
     let tlm = run("bwaves", ManagerKind::NoMigration, 150_000);
     let pod = run("bwaves", ManagerKind::MemPod, 150_000);
     assert!(
-        pod.ammat_ps() > tlm.ammat_ps() * 0.98,
+        pod.ammat_ps().expect("has requests") > tlm.ammat_ps().expect("has requests") * 0.98,
         "migration should not help a pure stream: pod={:.1}ns tlm={:.1}ns",
-        pod.ammat_ns(),
-        tlm.ammat_ns()
+        pod.ammat_ns().expect("has requests"),
+        tlm.ammat_ns().expect("has requests")
     );
     // And MemPod still moved data for nothing (wasted migrations).
     assert!(pod.migration.migrations > 0);
@@ -125,5 +125,5 @@ fn libquantum_footprint_converges_into_fast_memory() {
         pod.mem_stats.fast_service_fraction()
     );
     let tlm = run("libquantum", ManagerKind::NoMigration, 250_000);
-    assert!(pod.ammat_ps() < tlm.ammat_ps());
+    assert!(pod.ammat_ps().expect("has requests") < tlm.ammat_ps().expect("has requests"));
 }
