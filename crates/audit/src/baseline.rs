@@ -1,0 +1,177 @@
+//! `--deny-new` baseline support: a committed `audit.baseline.json`
+//! records the findings that existed when a rule was introduced, and CI
+//! fails only on findings *not* in the baseline. This lets a new rule
+//! family be adopted without a big-bang cleanup — existing debt is
+//! visible and frozen, new debt is blocked.
+//!
+//! Entries are content-anchored (`file` + `rule` + trimmed source line),
+//! not line-number-anchored, so unrelated edits don't invalidate them —
+//! and *fixing* a finding makes its entry stale, which the report
+//! surfaces so the baseline only ever shrinks.
+
+use serde_json::{json, Value};
+
+use crate::lint::Violation;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Rule identifier.
+    pub rule: String,
+    /// The trimmed source line of the finding when it was baselined.
+    pub snippet: String,
+}
+
+/// The committed set of pre-existing findings.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses `audit.baseline.json`:
+    /// `{"version": 1, "entries": [{"file", "rule", "snippet"}, …]}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or missing fields.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let Some(items) = v["entries"].as_array() else {
+            return Err("baseline must have an `entries` array".to_string());
+        };
+        let mut entries = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let field = |k: &str| {
+                item[k]
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry {i}: missing string field `{k}`"))
+            };
+            entries.push(BaselineEntry {
+                file: field("file")?,
+                rule: field("rule")?,
+                snippet: field("snippet")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline from a lint run: every finding not already
+    /// covered by the allowlist becomes an entry (deduplicated).
+    pub fn from_violations<'a>(violations: impl Iterator<Item = &'a Violation>) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = violations
+            .map(|v| BaselineEntry {
+                file: v.file.clone(),
+                rule: v.rule.clone(),
+                snippet: v.snippet.trim().to_string(),
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet)));
+        entries.dedup();
+        Baseline { entries }
+    }
+
+    /// Whether this baseline grandfathers the given finding.
+    pub fn permits(&self, v: &Violation) -> bool {
+        let snippet = v.snippet.trim();
+        self.entries
+            .iter()
+            .any(|e| e.file == v.file && e.rule == v.rule && e.snippet == snippet)
+    }
+
+    /// Entries that matched none of the given findings (fixed debt whose
+    /// entry should now be deleted).
+    pub fn stale<'a>(&'a self, violations: &[Violation]) -> Vec<&'a BaselineEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !violations
+                    .iter()
+                    .any(|v| v.file == e.file && v.rule == e.rule && v.snippet.trim() == e.snippet)
+            })
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the committed JSON form.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "version": 1,
+            "entries": self
+                .entries
+                .iter()
+                .map(|e| json!({"file": e.file, "rule": e.rule, "snippet": e.snippet}))
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(file: &str, rule: &str, snippet: &str) -> Violation {
+        Violation {
+            file: file.into(),
+            line: 1,
+            rule: rule.into(),
+            message: "m".into(),
+            snippet: snippet.into(),
+            allowed: false,
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_matching() {
+        let v1 = violation("a.rs", "hot-path-panic", "x.unwrap()");
+        let v2 = violation("a.rs", "lossy-cast", "y as u32");
+        let b = Baseline::from_violations([&v1, &v2].into_iter());
+        let text = serde_json::to_string(b.to_json()).expect("render");
+        let b2 = Baseline::from_json(&text).expect("parse");
+        assert_eq!(b2.len(), 2);
+        assert!(b2.permits(&v1));
+        assert!(b2.permits(&v2));
+        // Same snippet, different rule or file: no match.
+        assert!(!b2.permits(&violation("a.rs", "hot-path-print", "x.unwrap()")));
+        assert!(!b2.permits(&violation("b.rs", "hot-path-panic", "x.unwrap()")));
+    }
+
+    #[test]
+    fn line_moves_do_not_invalidate_entries() {
+        let b = Baseline::from_violations([&violation("a.rs", "r", "  x.unwrap()  ")].into_iter());
+        let mut moved = violation("a.rs", "r", "x.unwrap()");
+        moved.line = 999;
+        assert!(b.permits(&moved));
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let fixed = violation("a.rs", "r", "gone()");
+        let live = violation("a.rs", "r", "still()");
+        let b = Baseline::from_violations([&fixed, &live].into_iter());
+        let stale = b.stale(std::slice::from_ref(&live));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].snippet, "gone()");
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::from_json("[]").is_err());
+        assert!(Baseline::from_json("{\"entries\": [{\"file\": \"x\"}]}").is_err());
+        assert!(Baseline::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,525 @@
+//! A dependency-free Rust lexer producing a byte-offset token stream.
+//!
+//! The lint engine used to scan comment-stripped *text*; every rule that
+//! needed structure (is this `as` a cast? is this identifier a call?) had
+//! to re-derive it from strings. This lexer gives every downstream pass —
+//! the item parser, the call graph, and the token-level rules — one shared
+//! source model. The workspace has no crates.io access, so this is
+//! hand-rolled (no `proc-macro2`/`syn`), covering the subset of Rust that
+//! actually appears in the tree plus the edge cases the old text-stripper
+//! mishandled: raw strings with arbitrary `#` fences, byte/raw-byte
+//! strings, nested block comments, and char-literal vs. lifetime
+//! disambiguation (including multi-byte chars).
+//!
+//! Ordinary comments vanish; doc comments survive as [`TokenKind::DocOuter`]
+//! / [`TokenKind::DocInner`] tokens so the API-surface rule can attribute
+//! them to items. String and char literals become single tokens whose
+//! contents no rule ever matches against.
+
+/// The coarse classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the parser distinguishes by text).
+    Ident,
+    /// A lifetime such as `'a` (leading quote included in the span).
+    Lifetime,
+    /// Integer or float literal, including any type suffix.
+    Number,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Outer doc comment (`///` or `/** … */`).
+    DocOuter,
+    /// Inner doc comment (`//!` or `/*! … */`).
+    DocInner,
+    /// Punctuation; common two-character operators arrive merged
+    /// (`::`, `->`, `=>`, `<<`, `<=`, `>=`, `==`, `!=`, `&&`, `||`,
+    /// `..`, `+=`, `-=`).
+    Punct,
+}
+
+/// One token: a classified byte range of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, src: &str, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text(src) == p
+    }
+
+    /// Whether this token is the exact identifier/keyword `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(src) == name
+    }
+}
+
+/// Two-character punctuation sequences emitted as single tokens. `>>` is
+/// deliberately absent: merging it would corrupt nested generics such as
+/// `Vec<Vec<u8>>`, and no rule needs right-shift.
+const TWO_CHAR_PUNCT: &[&str] = &[
+    "::", "->", "=>", "<<", "<=", ">=", "==", "!=", "&&", "||", "..", "+=", "-=",
+];
+
+/// Tokenizes `src`. Never fails: unrecognized bytes become one-byte
+/// `Punct` tokens, and unterminated literals extend to end of input, so
+/// the lexer is total over arbitrary text.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len() / 4),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_str_ahead(self.i + 1) => self.raw_string(self.i + 1),
+                b'b' => self.byte_prefixed(),
+                b'"' => self.plain_string(),
+                b'\'' => self.quote(),
+                _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+
+    /// Advances `self.i` to `to`, counting newlines crossed.
+    fn advance_to(&mut self, to: usize) {
+        let to = to.min(self.b.len());
+        for &c in &self.b[self.i..to] {
+            if c == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.i = to;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let end = self.b[self.i..]
+            .iter()
+            .position(|&c| c == b'\n')
+            .map_or(self.b.len(), |p| self.i + p);
+        let text = &self.b[start..end];
+        // `///` is outer doc, `//!` inner doc — but `////…` is ordinary.
+        let kind = if text.starts_with(b"///") && text.get(3) != Some(&b'/') {
+            Some(TokenKind::DocOuter)
+        } else if text.starts_with(b"//!") {
+            Some(TokenKind::DocInner)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            self.push(kind, start, end, line);
+        }
+        self.i = end;
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let text = &self.b[start..];
+        // `/**/` and `/***…` are ordinary; `/**x` and `/*!` are docs.
+        let kind = if text.starts_with(b"/*!") {
+            Some(TokenKind::DocInner)
+        } else if text.starts_with(b"/**") && !matches!(text.get(3), Some(b'*') | Some(b'/')) {
+            Some(TokenKind::DocOuter)
+        } else {
+            None
+        };
+        let mut depth = 1usize;
+        let mut j = start + 2;
+        while j < self.b.len() && depth > 0 {
+            if self.b[j..].starts_with(b"/*") {
+                depth += 1;
+                j += 2;
+            } else if self.b[j..].starts_with(b"*/") {
+                depth -= 1;
+                j += 2;
+            } else {
+                j += 1;
+            }
+        }
+        self.advance_to(j);
+        if let Some(kind) = kind {
+            self.push(kind, start, j, line);
+        }
+    }
+
+    /// Whether a raw-string fence (`#* "`), as after `r` or `br`, starts at `j`.
+    fn raw_str_ahead(&self, mut j: usize) -> bool {
+        // The `r`/`br` prefix must not be the tail of a longer identifier.
+        if self.i > 0 && ident_byte(self.b[self.i - 1]) {
+            return false;
+        }
+        while self.b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.b.get(j) == Some(&b'"')
+    }
+
+    /// Lexes `r"…"`/`r#"…"#` (or the `br` forms) whose fence starts at `j`.
+    fn raw_string(&mut self, mut j: usize) {
+        let start = self.i;
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        let mut closer = vec![b'"'];
+        closer.extend(std::iter::repeat_n(b'#', hashes));
+        let end = find_sub(self.b, j, &closer).map_or(self.b.len(), |p| p + closer.len());
+        self.advance_to(end);
+        self.push(TokenKind::Str, start, end, line);
+    }
+
+    /// Lexes tokens starting with `b`: `b"…"`, `br#"…"#`, `b'x'`, or a
+    /// plain identifier.
+    fn byte_prefixed(&mut self) {
+        if self.i > 0 && ident_byte(self.b[self.i - 1]) {
+            self.ident();
+            return;
+        }
+        match self.peek(1) {
+            Some(b'"') => {
+                let start = self.i;
+                let line = self.line;
+                self.i += 1;
+                self.string_body(start, line);
+            }
+            Some(b'r') if self.raw_str_ahead(self.i + 2) => self.raw_string(self.i + 2),
+            Some(b'\'') => {
+                let start = self.i;
+                let line = self.line;
+                // Content begins after the `b` and the opening quote.
+                let end = self.char_end(self.i + 2).unwrap_or(self.i + 2);
+                self.advance_to(end);
+                self.push(TokenKind::Char, start, end, line);
+            }
+            _ => self.ident(),
+        }
+    }
+
+    fn plain_string(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        self.string_body(start, line);
+    }
+
+    /// Consumes a `"…"` body with escapes; `self.i` must be at the quote.
+    fn string_body(&mut self, start: usize, line: u32) {
+        let mut j = self.i + 1;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let end = j.min(self.b.len());
+        self.advance_to(end);
+        self.push(TokenKind::Str, start, end, line);
+    }
+
+    /// If a char literal starts at the quote before `j` (content begins at
+    /// `j`), returns its end offset; `None` means lifetime.
+    fn char_end(&self, j: usize) -> Option<usize> {
+        match self.b.get(j)? {
+            b'\\' => {
+                // Escape: scan to the closing quote (handles \u{…}).
+                let mut k = j + 2;
+                while k < self.b.len() && self.b[k] != b'\'' && self.b[k] != b'\n' {
+                    k += 1;
+                }
+                (self.b.get(k) == Some(&b'\'')).then_some(k + 1)
+            }
+            &c => {
+                // One char (possibly multi-byte) then an immediate quote.
+                let len = utf8_len(c);
+                (c != b'\'' && self.b.get(j + len) == Some(&b'\'')).then_some(j + len + 1)
+            }
+        }
+    }
+
+    /// Disambiguates `'x'` (char) from `'a` (lifetime) at a quote.
+    fn quote(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        if let Some(end) = self.char_end(self.i + 1) {
+            self.advance_to(end);
+            self.push(TokenKind::Char, start, end, line);
+        } else {
+            let mut j = self.i + 1;
+            while j < self.b.len() && ident_byte(self.b[j]) {
+                j += 1;
+            }
+            self.i = j;
+            self.push(TokenKind::Lifetime, start, j, line);
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut j = self.i;
+        while j < self.b.len() && (ident_byte(self.b[j]) || self.b[j] >= 0x80) {
+            j += 1;
+        }
+        self.i = j;
+        self.push(TokenKind::Ident, start, j, line);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut j = self.i;
+        while j < self.b.len() {
+            if ident_byte(self.b[j]) {
+                j += 1;
+            } else if self.b[j] == b'.'
+                && self.b.get(j + 1).is_some_and(u8::is_ascii_digit)
+                && self
+                    .b
+                    .get(j.wrapping_sub(1))
+                    .is_some_and(u8::is_ascii_digit)
+            {
+                // `1.5` continues the literal; `1..n` and `1.max(2)` do not.
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        self.i = j;
+        self.push(TokenKind::Number, start, j, line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        for two in TWO_CHAR_PUNCT {
+            if self.b[start..].starts_with(two.as_bytes()) {
+                self.i = start + 2;
+                self.push(TokenKind::Punct, start, start + 2, line);
+                return;
+            }
+        }
+        self.i = start + 1;
+        self.push(TokenKind::Punct, start, start + 1, line);
+    }
+}
+
+fn ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte length of the UTF-8 sequence starting with `lead`.
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn find_sub(b: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || from >= b.len() {
+        return None;
+    }
+    b[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let src = "let x = a_1 + 0x1f_u64;";
+        assert_eq!(
+            texts(src),
+            [
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Ident, "a_1"),
+                (TokenKind::Punct, "+"),
+                (TokenKind::Number, "0x1f_u64"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_puncts_merge_but_nested_generics_survive() {
+        let src = "x <<= 1; let v: Vec<Vec<u8>> = vec![];";
+        let t = texts(src);
+        assert!(t.contains(&(TokenKind::Punct, "<<")));
+        // `>>` must stay two separate `>` tokens.
+        assert!(!t.contains(&(TokenKind::Punct, ">>")));
+        assert_eq!(t.iter().filter(|(_, s)| *s == ">").count(), 2);
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque_single_tokens() {
+        let src = r#"f("panic!(", 'x', '\n', b'q', b"bytes")"#;
+        let t = texts(src);
+        assert!(t.contains(&(TokenKind::Str, "\"panic!(\"")));
+        assert!(t.contains(&(TokenKind::Char, "'x'")));
+        assert!(t.contains(&(TokenKind::Char, r"'\n'")));
+        assert!(t.contains(&(TokenKind::Char, "b'q'")));
+        assert!(t.contains(&(TokenKind::Str, "b\"bytes\"")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let a = r\"x\"; let b = r#\"quote \" inside\"#; let c = br##\"x\"#y\"##;";
+        let t = texts(src);
+        assert!(t.contains(&(TokenKind::Str, "r\"x\"")));
+        assert!(t.contains(&(TokenKind::Str, "r#\"quote \" inside\"#")));
+        assert!(t.contains(&(TokenKind::Str, "br##\"x\"#y\"##")));
+    }
+
+    #[test]
+    fn raw_string_with_embedded_panic_never_leaks() {
+        let src = "let s = r#\"call .unwrap() and panic!(now)\"#; done();";
+        let t = tokenize(src);
+        assert!(!t
+            .iter()
+            .any(|tok| tok.kind == TokenKind::Ident && tok.text(src) == "panic"));
+        assert!(t.iter().any(|tok| tok.is_ident(src, "done")));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(
+            texts(src),
+            [(TokenKind::Ident, "a"), (TokenKind::Ident, "b")]
+        );
+    }
+
+    #[test]
+    fn doc_comments_survive_ordinary_comments_vanish() {
+        let src = "/// outer\n//! inner\n//// not a doc\n// plain\n/** block */ fn f() {}";
+        let t = texts(src);
+        assert_eq!(t[0], (TokenKind::DocOuter, "/// outer"));
+        assert_eq!(t[1], (TokenKind::DocInner, "//! inner"));
+        assert_eq!(t[2], (TokenKind::DocOuter, "/** block */"));
+        assert_eq!(t[3], (TokenKind::Ident, "fn"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        let t = texts(src);
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert!(t.contains(&(TokenKind::Char, "'b'")));
+    }
+
+    #[test]
+    fn multibyte_char_literal() {
+        let src = "let c = 'λ'; let l: &'static str = \"s\";";
+        let t = texts(src);
+        assert!(t.contains(&(TokenKind::Char, "'λ'")));
+        assert!(t.contains(&(TokenKind::Lifetime, "'static")));
+    }
+
+    #[test]
+    fn lifetime_list_in_generics_is_not_a_char() {
+        // 'a, 'b — the `, '` sequence must not fuse into a char literal.
+        let src = "fn f<'a, 'b>(x: &'a u8, y: &'b u8) {}";
+        let t = texts(src);
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            4
+        );
+        assert!(!t.iter().any(|(k, _)| *k == TokenKind::Char));
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_form() {
+        let src = "a\n\"two\nlines\"\nb\n/* c\nd */\ne";
+        let toks = tokenize(src);
+        let by_text: Vec<(&str, u32)> = toks.iter().map(|t| (t.text(src), t.line)).collect();
+        assert!(by_text.contains(&("a", 1)));
+        assert!(by_text.contains(&("b", 4)));
+        assert!(by_text.contains(&("e", 7)));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'"] {
+            let _ = tokenize(src);
+        }
+    }
+}

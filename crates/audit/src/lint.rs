@@ -1,38 +1,47 @@
 //! The workspace lint engine behind `cargo run -p mempod-audit -- lint`.
 //!
-//! Four rule families, all operating on comment- and string-stripped
-//! source so prose never trips a rule:
+//! v2 replaces the hand-maintained file lists of PR 1 with coverage
+//! *derived* from the workspace source model: the module graph and
+//! approximate call graph in [`crate::callgraph`] compute which files are
+//! reachable from the simulation entry points (`Simulator::run`, the
+//! public `Runner` functions, the `Channel` enqueue/drain methods), and
+//! the rule scopes follow automatically. A new pipeline module is covered
+//! the moment it is wired in — or flagged by the `coverage-gap` meta-lint
+//! if it isn't.
 //!
-//! * **hot-path-panic** — `.unwrap()`, `.expect(`, `panic!(`, `todo!(`
-//!   and `unimplemented!(` are forbidden in the migration pipeline's hot
-//!   modules (DRAM channel/mapper, simulator runner, manager core)
-//!   outside `#[cfg(test)]` regions. Hot paths return `Result`s;
-//!   panicking conveniences belong at crate surfaces and in tests.
-//! * **hot-path-print** — ad-hoc `println!`/`eprintln!`/`print!`/
-//!   `eprint!` are forbidden in the simulation pipeline (managers, DRAM
-//!   model, simulator, runner, telemetry itself): per-access printing
-//!   destroys throughput, and diagnostics belong in the structured
-//!   telemetry event stream, not on stdout. Experiment bins still print —
-//!   that is their job — so the rule covers only library modules.
-//! * **lossy-cast** — bare `as` casts to integer types are forbidden in
-//!   the address-arithmetic files; conversions must go through the
-//!   checked helpers in `mempod_types::convert` (or `From`/`try_from`),
-//!   so silent truncation of addresses can't happen.
-//! * **missing-docs** / **missing-debug** — every `pub` item in
-//!   `mempod-types` and `mempod-core` needs a doc comment, and every
-//!   `pub` struct/enum there needs `Debug` (derived or hand-written).
+//! Rule families (each in [`crate::rules`]):
 //!
-//! Findings render as a machine-readable JSON report; grandfathered
-//! violations can be allowlisted in `audit.allowlist.json` at the
-//! workspace root.
+//! * `hot-path-panic` — panicking constructs in derived hot-path files.
+//! * `hot-path-print` — ad-hoc printing in the simulation pipeline.
+//! * `lossy-cast` — bare integer `as` casts in address-arithmetic files.
+//! * `missing-docs` / `missing-debug` — pub-API coverage in the API crates.
+//! * `unit-mismatch` — arithmetic mixing ps/ns/cycle-suffixed values.
+//! * `unchecked-addr-arith` — raw address arithmetic outside the helpers.
+//! * `ignored-result` — discarded `Result`/`#[must_use]` values.
+//! * `coverage-gap` — pipeline modules escaping the derived coverage.
+//!
+//! Two grandfathering mechanisms with different lifecycles:
+//! * [`Allowlist`] (`audit.allowlist.json`) — intentional, permanent
+//!   exemptions. Entries that match nothing are themselves an error, so
+//!   an exemption cannot outlive its violation.
+//! * [`crate::baseline::Baseline`] (`audit.baseline.json`) — frozen debt
+//!   for `--deny-new` adoption; stale entries are reported for deletion.
 
 use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use serde_json::{json, Value};
 
-/// The hot modules where panicking is banned.
-const HOT_PATH_FILES: &[&str] = &[
+use crate::baseline::Baseline;
+use crate::callgraph::{derive_coverage, Coverage, Model, ADDR_HELPER_FILES};
+use crate::rules;
+use crate::rules::api::API_CRATES;
+
+/// The hot-path files PR 1 hard-coded. Retained (as data, not as rule
+/// scope) so the regression suite can assert the derived coverage is a
+/// strict superset — the derivation must never silently *lose* a file the
+/// old engine covered.
+pub const LEGACY_HOT_PATH_FILES: &[&str] = &[
     "crates/dram/src/channel.rs",
     "crates/dram/src/mapper.rs",
     "crates/sim/src/runner.rs",
@@ -40,11 +49,8 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/mempod.rs",
 ];
 
-/// Simulation-pipeline library modules where ad-hoc printing is banned
-/// (diagnostics go through `mempod-telemetry` events instead). A superset
-/// of [`HOT_PATH_FILES`] — panicking is allowed at some of these crate
-/// surfaces, but printing is not allowed anywhere in the pipeline.
-const PRINT_FILES: &[&str] = &[
+/// The print-ban files PR 1 hard-coded (see [`LEGACY_HOT_PATH_FILES`]).
+pub const LEGACY_PRINT_FILES: &[&str] = &[
     "crates/dram/src/channel.rs",
     "crates/dram/src/mapper.rs",
     "crates/dram/src/system.rs",
@@ -62,33 +68,11 @@ const PRINT_FILES: &[&str] = &[
     "crates/telemetry/src/lib.rs",
 ];
 
-/// The address-arithmetic files where bare integer `as` casts are banned.
-const CAST_FILES: &[&str] = &[
+/// The cast-ban files PR 1 hard-coded (see [`LEGACY_HOT_PATH_FILES`]).
+pub const LEGACY_CAST_FILES: &[&str] = &[
     "crates/types/src/addr.rs",
     "crates/types/src/geometry.rs",
     "crates/dram/src/mapper.rs",
-];
-
-/// Crate source roots whose `pub` API must be documented and `Debug`.
-const API_DIRS: &[&str] = &["crates/types/src", "crates/core/src"];
-
-/// Panicking constructs searched for on hot paths.
-const PANIC_PATTERNS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-/// Printing macros banned in the simulation pipeline. Matches are
-/// anchored on a non-identifier preceding character, so `eprintln!(` never
-/// also counts as `println!(` and `my_print!(` never counts at all.
-const PRINT_PATTERNS: &[&str] = &["println!(", "eprintln!(", "print!(", "eprint!("];
-
-/// Integer cast targets that make an `as` cast potentially lossy.
-const INT_TARGETS: &[&str] = &[
-    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
 ];
 
 /// One lint finding.
@@ -98,8 +82,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`hot-path-panic`, `lossy-cast`, `missing-docs`,
-    /// `missing-debug`).
+    /// Rule identifier.
     pub rule: String,
     /// Human-readable explanation.
     pub message: String,
@@ -107,6 +90,8 @@ pub struct Violation {
     pub snippet: String,
     /// Whether an allowlist entry grandfathers this finding.
     pub allowed: bool,
+    /// Whether a baseline entry grandfathers this finding (`--deny-new`).
+    pub baselined: bool,
 }
 
 impl fmt::Display for Violation {
@@ -132,7 +117,17 @@ pub struct AllowEntry {
     pub line_contains: String,
 }
 
-/// The grandfathered-violation allowlist.
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{file: {}, rule: {}, line_contains: {:?}}}",
+            self.file, self.rule, self.line_contains
+        )
+    }
+}
+
+/// The intentional-exemption allowlist.
 #[derive(Debug, Clone, Default)]
 pub struct Allowlist {
     entries: Vec<AllowEntry>,
@@ -175,6 +170,19 @@ impl Allowlist {
             .any(|e| e.file == file && e.rule == rule && snippet.contains(&e.line_contains))
     }
 
+    /// Entries that match none of `violations` — grandfathered exemptions
+    /// that have outlived their violation and must be deleted.
+    pub fn unused<'a>(&'a self, violations: &[Violation]) -> Vec<&'a AllowEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !violations.iter().any(|v| {
+                    v.file == e.file && v.rule == e.rule && v.snippet.contains(&e.line_contains)
+                })
+            })
+            .collect()
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -189,21 +197,47 @@ impl Allowlist {
 /// Result of one lint run.
 #[derive(Debug, Clone)]
 pub struct LintReport {
-    /// Every finding, including allowlisted ones.
+    /// Every finding, including allowlisted/baselined ones.
     pub violations: Vec<Violation>,
-    /// Number of files scanned.
+    /// Number of files in the workspace model.
     pub files_scanned: usize,
+    /// The derived rule coverage.
+    pub coverage: Coverage,
+    /// The call-graph roots the coverage was derived from.
+    pub roots: Vec<String>,
+    /// Allowlist entries that matched no finding (an error: exemptions
+    /// must not outlive their violations).
+    pub stale_allowlist: Vec<String>,
+    /// Baseline entries that matched no finding (fixed debt; delete them).
+    pub stale_baseline: Vec<String>,
 }
 
 impl LintReport {
-    /// Findings not covered by the allowlist.
+    /// Findings not covered by the allowlist or baseline.
     pub fn blocking(&self) -> impl Iterator<Item = &Violation> {
-        self.violations.iter().filter(|v| !v.allowed)
+        self.violations
+            .iter()
+            .filter(|v| !v.allowed && !v.baselined)
     }
 
-    /// Whether the tree passes (no non-allowlisted findings).
+    /// Whether the tree passes: no blocking findings *and* no stale
+    /// allowlist entries.
     pub fn ok(&self) -> bool {
-        self.blocking().count() == 0
+        self.blocking().count() == 0 && self.stale_allowlist.is_empty()
+    }
+
+    /// Marks findings present in `baseline` and records its stale entries.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) {
+        for v in &mut self.violations {
+            if !v.allowed && baseline.permits(v) {
+                v.baselined = true;
+            }
+        }
+        self.stale_baseline = baseline
+            .stale(&self.violations)
+            .into_iter()
+            .map(|e| format!("{}: [{}] {:?}", e.file, e.rule, e.snippet))
+            .collect();
     }
 
     /// The machine-readable report.
@@ -219,664 +253,112 @@ impl LintReport {
                     "message": v.message.clone(),
                     "snippet": v.snippet.clone(),
                     "allowed": v.allowed,
+                    "baselined": v.baselined,
                 })
             })
             .collect();
+        let set = |s: &std::collections::BTreeSet<String>| {
+            Value::Array(s.iter().cloned().map(Value::String).collect())
+        };
         json!({
             "tool": "mempod-audit",
             "check": "lint",
             "files_scanned": self.files_scanned,
             "blocking": self.blocking().count(),
             "allowlisted": self.violations.iter().filter(|v| v.allowed).count(),
+            "baselined": self.violations.iter().filter(|v| v.baselined).count(),
             "ok": self.ok(),
+            "roots": self.roots.clone(),
+            "coverage": {
+                "hot_path": set(&self.coverage.hot),
+                "print": set(&self.coverage.print),
+                "cast": set(&self.coverage.cast),
+                "pipeline": set(&self.coverage.pipeline),
+            },
+            "stale_allowlist": self.stale_allowlist.clone(),
+            "stale_baseline": self.stale_baseline.clone(),
             "violations": Value::Array(violations),
         })
     }
 }
 
-/// Runs every rule over the workspace rooted at `root`.
-///
-/// Missing files are skipped silently only for the directory walk; the
-/// named hot-path/cast files produce a finding when absent, so the rule
-/// set can't rot when files move.
+/// Runs every rule over the workspace rooted at `root`, with coverage
+/// derived from the source model. Baseline handling is separate — see
+/// [`LintReport::apply_baseline`].
 pub fn run_lint(root: &Path, allowlist: &Allowlist) -> LintReport {
+    let model = match Model::build(root) {
+        Ok(m) => m,
+        Err(e) => {
+            // No workspace shape at all: a single finding so the failure
+            // is visible in the report rather than silently "clean".
+            return LintReport {
+                violations: vec![Violation {
+                    file: String::new(),
+                    line: 0,
+                    rule: "model-error".to_string(),
+                    message: e,
+                    snippet: String::new(),
+                    allowed: false,
+                    baselined: false,
+                }],
+                files_scanned: 0,
+                coverage: Coverage::default(),
+                roots: Vec::new(),
+                stale_allowlist: Vec::new(),
+                stale_baseline: Vec::new(),
+            };
+        }
+    };
+    let coverage = derive_coverage(&model);
     let mut violations = Vec::new();
-    let mut files_scanned = 0usize;
 
-    for rel in HOT_PATH_FILES {
-        match read_rel(root, rel) {
-            Some(src) => {
-                files_scanned += 1;
-                check_hot_path(rel, &src, &mut violations);
-            }
-            None => violations.push(missing_file(rel, "hot-path-panic")),
+    for file in &model.files {
+        let rel = file.rel.as_str();
+        if coverage.hot.contains(rel) {
+            rules::panic::check(rel, &file.parsed, &mut violations);
+        }
+        if coverage.print.contains(rel) {
+            rules::print::check(rel, &file.parsed, &mut violations);
+        }
+        if coverage.cast.contains(rel) {
+            rules::cast::check(rel, &file.parsed, &mut violations);
+        }
+        if API_CRATES.contains(&file.crate_name.as_str()) {
+            rules::api::check(rel, &file.parsed, &mut violations);
+        }
+        let addr_helper = ADDR_HELPER_FILES.iter().any(|h| rel.ends_with(h));
+        if coverage.pipeline.contains(rel) && !addr_helper {
+            rules::addr_arith::check(rel, &file.parsed, &mut violations);
+        }
+        if coverage.pipeline.contains(rel) || file.crate_name == "mempod-types" {
+            rules::units::check(rel, &file.parsed, &mut violations);
         }
     }
-    for rel in PRINT_FILES {
-        match read_rel(root, rel) {
-            Some(src) => {
-                files_scanned += 1;
-                check_prints(rel, &src, &mut violations);
-            }
-            None => violations.push(missing_file(rel, "hot-path-print")),
-        }
-    }
-    for rel in CAST_FILES {
-        match read_rel(root, rel) {
-            Some(src) => {
-                files_scanned += 1;
-                check_casts(rel, &src, &mut violations);
-            }
-            None => violations.push(missing_file(rel, "lossy-cast")),
-        }
-    }
-    for dir in API_DIRS {
-        for path in rust_files_under(&root.join(dir)) {
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            if let Ok(src) = std::fs::read_to_string(&path) {
-                files_scanned += 1;
-                check_api_surface(&rel, &src, &mut violations);
-            }
-        }
-    }
+    rules::ignored_result::check(&model, &coverage, &mut violations);
+    rules::coverage::check(&model, &coverage, &mut violations);
 
     for v in &mut violations {
         v.allowed = allowlist.permits(&v.file, &v.rule, &v.snippet);
     }
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    violations.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    let stale_allowlist = allowlist
+        .unused(&violations)
+        .into_iter()
+        .map(|e| e.to_string())
+        .collect();
     LintReport {
         violations,
-        files_scanned,
+        files_scanned: model.files.len(),
+        coverage,
+        roots: model.roots,
+        stale_allowlist,
+        stale_baseline: Vec::new(),
     }
-}
-
-fn missing_file(rel: &str, rule: &str) -> Violation {
-    Violation {
-        file: rel.to_string(),
-        line: 0,
-        rule: rule.to_string(),
-        message: "file named in the lint rule set does not exist".to_string(),
-        snippet: String::new(),
-        allowed: false,
-    }
-}
-
-fn read_rel(root: &Path, rel: &str) -> Option<String> {
-    std::fs::read_to_string(root.join(rel)).ok()
-}
-
-/// All `.rs` files under `dir`, recursively, in sorted order.
-fn rust_files_under(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let p = entry.path();
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|e| e == "rs") {
-                out.push(p);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Source preprocessing
-// ---------------------------------------------------------------------------
-
-/// Replaces comments and string/char literal contents with spaces
-/// (newlines preserved), so rules only ever match real code. Handles line
-/// and nested block comments, ordinary/raw/byte strings, char literals,
-/// and lifetimes.
-pub fn strip_comments_and_strings(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    let blank = |out: &mut Vec<u8>, bytes: &[u8]| {
-        for &c in bytes {
-            out.push(if c == b'\n' { b'\n' } else { b' ' });
-        }
-    };
-    while i < b.len() {
-        if b[i..].starts_with(b"//") {
-            let end = memchr_from(b, i, b'\n').unwrap_or(b.len());
-            blank(&mut out, &b[i..end]);
-            i = end;
-        } else if b[i..].starts_with(b"/*") {
-            let mut depth = 1usize;
-            let mut j = i + 2;
-            while j < b.len() && depth > 0 {
-                if b[j..].starts_with(b"/*") {
-                    depth += 1;
-                    j += 2;
-                } else if b[j..].starts_with(b"*/") {
-                    depth -= 1;
-                    j += 2;
-                } else {
-                    j += 1;
-                }
-            }
-            blank(&mut out, &b[i..j]);
-            i = j;
-        } else if b[i] == b'r'
-            && !prev_is_ident(b, i)
-            && matches!(b.get(i + 1), Some(b'"') | Some(b'#'))
-        {
-            // Raw string r"..." / r#"..."#.
-            let mut hashes = 0usize;
-            let mut j = i + 1;
-            while b.get(j) == Some(&b'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if b.get(j) != Some(&b'"') {
-                out.push(b[i]);
-                i += 1;
-                continue;
-            }
-            out.push(b'r');
-            blank(&mut out, &b[i + 1..j + 1]);
-            j += 1;
-            let closer: Vec<u8> = std::iter::once(b'"')
-                .chain(std::iter::repeat_n(b'#', hashes))
-                .collect();
-            let end = find_sub(b, j, &closer).unwrap_or(b.len());
-            blank(&mut out, &b[j..(end + closer.len()).min(b.len())]);
-            i = (end + closer.len()).min(b.len());
-        } else if b[i] == b'"' {
-            out.push(b'"');
-            let mut j = i + 1;
-            while j < b.len() {
-                if b[j] == b'\\' {
-                    j += 2;
-                } else if b[j] == b'"' {
-                    break;
-                } else {
-                    j += 1;
-                }
-            }
-            let end = (j + 1).min(b.len());
-            blank(&mut out, &b[i + 1..end]);
-            i = end;
-        } else if b[i] == b'\'' {
-            // Char literal vs lifetime.
-            let is_char = match b.get(i + 1) {
-                Some(b'\\') => true,
-                Some(_) => {
-                    // 'x' is a char literal; 'a in "fn f<'a>" is not.
-                    // Look for a closing quote within the next few bytes
-                    // (covers multi-byte UTF-8 chars).
-                    (2..=5).any(|k| b.get(i + k) == Some(&b'\'')) && b.get(i + 2) != Some(&b':')
-                }
-                None => false,
-            };
-            if is_char {
-                out.push(b'\'');
-                let mut j = i + 1;
-                if b.get(j) == Some(&b'\\') {
-                    j += 2;
-                }
-                while j < b.len() && b[j] != b'\'' {
-                    j += 1;
-                }
-                let end = (j + 1).min(b.len());
-                blank(&mut out, &b[i + 1..end]);
-                i = end;
-            } else {
-                out.push(b'\'');
-                i += 1;
-            }
-        } else {
-            out.push(b[i]);
-            i += 1;
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn prev_is_ident(b: &[u8], i: usize) -> bool {
-    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
-}
-
-fn memchr_from(b: &[u8], from: usize, needle: u8) -> Option<usize> {
-    b[from..]
-        .iter()
-        .position(|&c| c == needle)
-        .map(|p| p + from)
-}
-
-fn find_sub(b: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
-    if needle.is_empty() || from >= b.len() {
-        return None;
-    }
-    b[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
-}
-
-/// Byte ranges of `#[cfg(test)]`-gated blocks and `macro_rules!` bodies,
-/// which every rule exempts.
-pub fn exempt_ranges(code: &str) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    for marker in ["#[cfg(test)]", "macro_rules!"] {
-        let mut from = 0;
-        while let Some(pos) = code[from..].find(marker) {
-            let start = from + pos;
-            let after = start + marker.len();
-            if let Some(open_rel) = code[after..].find('{') {
-                let open = after + open_rel;
-                let close = matching_brace(code.as_bytes(), open);
-                ranges.push((start, close));
-                from = close;
-            } else {
-                from = after;
-            }
-        }
-    }
-    ranges
-}
-
-/// Index one past the brace matching the `{` at `open` (or end of input).
-fn matching_brace(b: &[u8], open: usize) -> usize {
-    let mut depth = 0usize;
-    let mut i = open;
-    while i < b.len() {
-        match b[i] {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i + 1;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    b.len()
-}
-
-fn in_ranges(ranges: &[(usize, usize)], pos: usize) -> bool {
-    ranges.iter().any(|&(s, e)| pos >= s && pos < e)
-}
-
-/// 1-based line number of byte offset `pos`.
-fn line_of(code: &str, pos: usize) -> usize {
-    code.as_bytes()[..pos]
-        .iter()
-        .filter(|&&c| c == b'\n')
-        .count()
-        + 1
-}
-
-/// The trimmed original-source line containing byte offset `pos` in the
-/// stripped text (offsets are preserved by the stripper).
-fn snippet_at(original: &str, stripped: &str, pos: usize) -> String {
-    let line = line_of(stripped, pos);
-    original
-        .lines()
-        .nth(line - 1)
-        .unwrap_or("")
-        .trim()
-        .to_string()
-}
-
-// ---------------------------------------------------------------------------
-// Rule: hot-path-panic
-// ---------------------------------------------------------------------------
-
-fn check_hot_path(rel: &str, src: &str, out: &mut Vec<Violation>) {
-    let code = strip_comments_and_strings(src);
-    let exempt = exempt_ranges(&code);
-    for pat in PANIC_PATTERNS {
-        let mut from = 0;
-        while let Some(p) = code[from..].find(pat) {
-            let pos = from + p;
-            from = pos + pat.len();
-            if in_ranges(&exempt, pos) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_of(&code, pos),
-                rule: "hot-path-panic".to_string(),
-                message: format!(
-                    "`{}` is forbidden on the hot path; return a Result or \
-                     handle the case explicitly",
-                    pat.trim_end_matches('(')
-                ),
-                snippet: snippet_at(src, &code, pos),
-                allowed: false,
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: hot-path-print
-// ---------------------------------------------------------------------------
-
-fn check_prints(rel: &str, src: &str, out: &mut Vec<Violation>) {
-    let code = strip_comments_and_strings(src);
-    let exempt = exempt_ranges(&code);
-    let b = code.as_bytes();
-    for pat in PRINT_PATTERNS {
-        let mut from = 0;
-        while let Some(p) = code[from..].find(pat) {
-            let pos = from + p;
-            from = pos + pat.len();
-            if in_ranges(&exempt, pos) || prev_is_ident(b, pos) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_of(&code, pos),
-                rule: "hot-path-print".to_string(),
-                message: format!(
-                    "`{}` is forbidden in the simulation pipeline; emit a \
-                     structured mempod-telemetry event instead",
-                    pat.trim_end_matches('(')
-                ),
-                snippet: snippet_at(src, &code, pos),
-                allowed: false,
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: lossy-cast
-// ---------------------------------------------------------------------------
-
-fn check_casts(rel: &str, src: &str, out: &mut Vec<Violation>) {
-    let code = strip_comments_and_strings(src);
-    let exempt = exempt_ranges(&code);
-    let b = code.as_bytes();
-    let mut from = 0;
-    while let Some(p) = code[from..].find(" as ") {
-        let pos = from + p;
-        from = pos + 4;
-        if in_ranges(&exempt, pos) {
-            continue;
-        }
-        // ` as ` inside a longer word can't happen (spaces delimit), but
-        // the target type must be an integer primitive to count.
-        let mut j = pos + 4;
-        while j < b.len() && b[j] == b' ' {
-            j += 1;
-        }
-        let start = j;
-        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
-            j += 1;
-        }
-        let target = &code[start..j];
-        if INT_TARGETS.contains(&target) {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_of(&code, pos),
-                rule: "lossy-cast".to_string(),
-                message: format!(
-                    "bare `as {target}` cast in address arithmetic; use \
-                     mempod_types::convert (or From/try_from) instead"
-                ),
-                snippet: snippet_at(src, &code, pos),
-                allowed: false,
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rules: missing-docs / missing-debug
-// ---------------------------------------------------------------------------
-
-fn check_api_surface(rel: &str, src: &str, out: &mut Vec<Violation>) {
-    let code = strip_comments_and_strings(src);
-    let exempt = exempt_ranges(&code);
-    // Manual Debug impls satisfy missing-debug just like derives.
-    let manual_debug: Vec<&str> = src
-        .match_indices("Debug for ")
-        .map(|(p, _)| {
-            let rest = &src[p + "Debug for ".len()..];
-            let end = rest
-                .find(|c: char| !c.is_alphanumeric() && c != '_')
-                .unwrap_or(rest.len());
-            &rest[..end]
-        })
-        .collect();
-
-    // Walk the stripped code line by line (offsets preserved), carrying
-    // doc/attribute state for the next item.
-    let mut offset = 0usize;
-    let mut has_doc = false;
-    let mut attrs = String::new();
-    // > 0 while inside a multi-line attribute such as `#[derive(\n...\n)]`.
-    let mut attr_depth = 0i32;
-    // Original lines carry the doc comments the stripper blanked out.
-    let orig_lines: Vec<&str> = src.lines().collect();
-    for (idx, line) in code.lines().enumerate() {
-        let line_start = offset;
-        offset += line.len() + 1;
-        let orig = orig_lines.get(idx).copied().unwrap_or("").trim();
-        let trimmed = line.trim();
-        if in_ranges(&exempt, line_start + (line.len() - line.trim_start().len())) {
-            continue;
-        }
-        if orig.starts_with("///") {
-            has_doc = true;
-            continue;
-        }
-        if orig.starts_with("#[doc") {
-            has_doc = true;
-            continue;
-        }
-        if attr_depth > 0 || trimmed.starts_with("#[") || trimmed.starts_with("#!") {
-            attrs.push_str(trimmed);
-            attrs.push('\n');
-            for c in trimmed.chars() {
-                match c {
-                    '[' => attr_depth += 1,
-                    ']' => attr_depth -= 1,
-                    _ => {}
-                }
-            }
-            continue;
-        }
-        if trimmed.is_empty() {
-            continue;
-        }
-        if let Some(item) = pub_item(trimmed) {
-            let lineno = idx + 1;
-            if !has_doc {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: "missing-docs".to_string(),
-                    message: format!("public {} `{}` has no doc comment", item.kind, item.name),
-                    snippet: orig.to_string(),
-                    allowed: false,
-                });
-            }
-            if (item.kind == "struct" || item.kind == "enum")
-                && !attrs_contain_debug(&attrs)
-                && !manual_debug.contains(&item.name.as_str())
-            {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: "missing-debug".to_string(),
-                    message: format!(
-                        "public {} `{}` neither derives nor implements Debug",
-                        item.kind, item.name
-                    ),
-                    snippet: orig.to_string(),
-                    allowed: false,
-                });
-            }
-        }
-        has_doc = false;
-        attrs.clear();
-    }
-}
-
-fn attrs_contain_debug(attrs: &str) -> bool {
-    attrs
-        .split("derive(")
-        .skip(1)
-        .any(|rest| match rest.find(')') {
-            Some(end) => rest[..end].split(',').any(|item| item.trim() == "Debug"),
-            None => false,
-        })
-}
-
-/// A detected public item declaration.
-struct PubItem {
-    kind: &'static str,
-    name: String,
-}
-
-/// Parses `pub <kind> <name>` item heads. `pub use`/`pub mod` are skipped
-/// (re-exports and module declarations carry their docs elsewhere), as are
-/// struct fields, which are covered by the struct's own doc requirement.
-fn pub_item(trimmed: &str) -> Option<PubItem> {
-    let rest = trimmed.strip_prefix("pub ")?;
-    let kinds: &[(&str, &'static str)] = &[
-        ("struct ", "struct"),
-        ("enum ", "enum"),
-        ("trait ", "trait"),
-        ("fn ", "fn"),
-        ("const ", "const"),
-        ("static ", "static"),
-        ("type ", "type"),
-        ("union ", "union"),
-        ("unsafe fn ", "fn"),
-    ];
-    for (prefix, kind) in kinds {
-        if let Some(after) = rest.strip_prefix(prefix) {
-            let name: String = after
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if name.is_empty() {
-                return None;
-            }
-            return Some(PubItem { kind, name });
-        }
-    }
-    None
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn stripper_blanks_comments_and_strings() {
-        let src = "let a = \"panic!(\"; // .unwrap()\n/* todo!( */ let b = 'x';";
-        let code = strip_comments_and_strings(src);
-        assert!(!code.contains("panic!("));
-        assert!(!code.contains(".unwrap()"));
-        assert!(!code.contains("todo!("));
-        assert_eq!(code.matches('\n').count(), src.matches('\n').count());
-    }
-
-    #[test]
-    fn stripper_keeps_lifetimes_intact() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
-        assert_eq!(strip_comments_and_strings(src), src);
-    }
-
-    #[test]
-    fn hot_path_rule_flags_and_exempts() {
-        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n\
-                   #[cfg(test)]\nmod tests {\n  fn g(x: Option<u8>) { x.unwrap(); }\n}\n";
-        let mut v = Vec::new();
-        check_hot_path("f.rs", src, &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 1);
-        assert_eq!(v[0].rule, "hot-path-panic");
-    }
-
-    #[test]
-    fn unwrap_or_is_not_flagged() {
-        let mut v = Vec::new();
-        check_hot_path(
-            "f.rs",
-            "let x = o.unwrap_or(3); let y = r.expect_err(\"no\");",
-            &mut v,
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn print_rule_flags_each_macro_once_and_exempts_tests() {
-        let src = "fn f() { println!(\"x\"); }\n\
-                   fn g() { eprintln!(\"y\"); }\n\
-                   #[cfg(test)]\nmod tests {\n  fn h() { println!(\"ok in tests\"); }\n}\n";
-        let mut v = Vec::new();
-        check_prints("f.rs", src, &mut v);
-        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
-        // eprintln! on line 2 must not also match as println!.
-        assert_eq!(v.len(), 2, "{v:?}");
-        assert!(lines.contains(&1) && lines.contains(&2), "{lines:?}");
-        assert!(v.iter().all(|v| v.rule == "hot-path-print"));
-    }
-
-    #[test]
-    fn print_rule_ignores_prose_and_custom_macros() {
-        let mut v = Vec::new();
-        check_prints(
-            "f.rs",
-            "// println!(\"in a comment\")\nlet s = \"println!(\"; my_print!(x);\n",
-            &mut v,
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn cast_rule_flags_integer_targets_only() {
-        let src = "let a = x as u32;\nlet b = x as f64;\nlet c = y as usize;\n";
-        let mut v = Vec::new();
-        check_casts("g.rs", src, &mut v);
-        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
-        assert_eq!(lines, [1, 3]);
-    }
-
-    #[test]
-    fn api_rules_demand_docs_and_debug() {
-        let src = "/// Documented.\n#[derive(Debug)]\npub struct Good(u8);\n\
-                   pub struct Bad(u8);\n\
-                   /// Doc but no Debug.\npub enum NoDebug { A }\n\
-                   impl std::fmt::Debug for Manual {}\n\
-                   /// ok\npub struct Manual;\n";
-        let mut v = Vec::new();
-        check_api_surface("h.rs", src, &mut v);
-        let rules: Vec<(&str, usize)> = v.iter().map(|v| (v.rule.as_str(), v.line)).collect();
-        assert!(rules.contains(&("missing-docs", 4)), "{rules:?}");
-        assert!(rules.contains(&("missing-debug", 4)), "{rules:?}");
-        assert!(rules.contains(&("missing-debug", 6)), "{rules:?}");
-        assert_eq!(v.len(), 3, "{v:?}");
-    }
-
-    #[test]
-    fn multi_line_derive_attributes_are_tracked() {
-        let src = "/// Documented.\n#[derive(\n    Debug, Clone, Copy,\n)]\n\
-                   #[serde(transparent)]\npub struct Spanning(u8);\n";
-        let mut v = Vec::new();
-        check_api_surface("i.rs", src, &mut v);
-        assert!(v.is_empty(), "{v:?}");
-    }
 
     #[test]
     fn allowlist_grandfathers_by_content() {
@@ -895,6 +377,27 @@ mod tests {
     }
 
     #[test]
+    fn unused_allowlist_entries_are_detected() {
+        let al = Allowlist::from_json(
+            r#"[{"file": "f.rs", "rule": "hot-path-panic", "line_contains": "live"},
+                {"file": "f.rs", "rule": "hot-path-panic", "line_contains": "dead"}]"#,
+        )
+        .expect("valid allowlist");
+        let violations = vec![Violation {
+            file: "f.rs".into(),
+            line: 1,
+            rule: "hot-path-panic".into(),
+            message: "m".into(),
+            snippet: "live.unwrap()".into(),
+            allowed: true,
+            baselined: false,
+        }];
+        let unused = al.unused(&violations);
+        assert_eq!(unused.len(), 1);
+        assert_eq!(unused[0].line_contains, "dead");
+    }
+
+    #[test]
     fn report_json_names_file_line_rule() {
         let report = LintReport {
             violations: vec![Violation {
@@ -904,13 +407,65 @@ mod tests {
                 message: "m".into(),
                 snippet: "s".into(),
                 allowed: false,
+                baselined: false,
             }],
             files_scanned: 1,
+            coverage: Coverage::default(),
+            roots: vec!["Simulator::run".into()],
+            stale_allowlist: Vec::new(),
+            stale_baseline: Vec::new(),
         };
         let j = report.to_json();
         assert_eq!(j["ok"].as_bool(), Some(false));
         assert_eq!(j["violations"][0]["file"].as_str(), Some("crates/x.rs"));
         assert_eq!(j["violations"][0]["line"].as_u64(), Some(12));
         assert_eq!(j["violations"][0]["rule"].as_str(), Some("hot-path-panic"));
+        assert_eq!(j["roots"][0].as_str(), Some("Simulator::run"));
+    }
+
+    #[test]
+    fn stale_allowlist_blocks_even_when_violations_pass() {
+        let report = LintReport {
+            violations: Vec::new(),
+            files_scanned: 1,
+            coverage: Coverage::default(),
+            roots: Vec::new(),
+            stale_allowlist: vec!["{file: f.rs, …}".into()],
+            stale_baseline: Vec::new(),
+        };
+        assert!(!report.ok());
+        assert_eq!(report.blocking().count(), 0);
+    }
+
+    #[test]
+    fn baseline_marks_findings_and_reports_stale_entries() {
+        let live = Violation {
+            file: "f.rs".into(),
+            line: 3,
+            rule: "lossy-cast".into(),
+            message: "m".into(),
+            snippet: "x as u32".into(),
+            allowed: false,
+            baselined: false,
+        };
+        let baseline = Baseline::from_json(
+            r#"{"version": 1, "entries": [
+                {"file": "f.rs", "rule": "lossy-cast", "snippet": "x as u32"},
+                {"file": "f.rs", "rule": "lossy-cast", "snippet": "fixed as u8"}]}"#,
+        )
+        .expect("valid baseline");
+        let mut report = LintReport {
+            violations: vec![live],
+            files_scanned: 1,
+            coverage: Coverage::default(),
+            roots: Vec::new(),
+            stale_allowlist: Vec::new(),
+            stale_baseline: Vec::new(),
+        };
+        report.apply_baseline(&baseline);
+        assert!(report.ok(), "{report:?}");
+        assert!(report.violations[0].baselined);
+        assert_eq!(report.stale_baseline.len(), 1);
+        assert!(report.stale_baseline[0].contains("fixed as u8"));
     }
 }

@@ -1,0 +1,143 @@
+//! `unchecked-addr-arith`: raw arithmetic (`+`, `+=`, `<<`,
+//! `wrapping_*`) on address-named integers outside the designated helper
+//! modules (`mempod_types::convert`, `mempod_types::addr`,
+//! `mempod_types::geometry`, `mempod_dram::mapper`).
+//!
+//! Address decomposition belongs in the helpers, where the bit layout is
+//! defined once, invariants are asserted, and overflow is checked. An
+//! inline `addr << 6` or `base_addr + offset` scattered through the
+//! pipeline is exactly the kind of silently-truncating expression that
+//! inverts tiering conclusions (see Nomad / the IIT-Ropar hybrid-memory
+//! study). The rule matches identifiers that *advertise* addressness
+//! (`addr`, `address`, `*_addr`, `addr_*`) on either side of the
+//! operator, or as the receiver of a `wrapping_*` call — including
+//! through a `.0` newtype projection.
+
+use crate::lexer::{Token, TokenKind};
+use crate::lint::Violation;
+use crate::parser::ParsedFile;
+
+/// Operators that rearrange address bits.
+const ADDR_OPS: &[&str] = &["+", "+=", "<<"];
+
+/// Whether an identifier advertises that it holds a raw address.
+fn is_addr_ident(name: &str) -> bool {
+    name == "addr"
+        || name == "address"
+        || name.ends_with("_addr")
+        || name.starts_with("addr_")
+        || name.contains("_addr_")
+}
+
+/// Runs the rule over one file.
+pub fn check(rel: &str, pf: &ParsedFile, out: &mut Vec<Violation>) {
+    let exempt = pf.exempt_ranges();
+    let src = &pf.src;
+    let toks = &pf.tokens;
+
+    // Resolves the value-ish token at `idx` to an address identifier,
+    // looking through a `.0` newtype projection (`addr.0`).
+    let addr_operand = |idx: usize| -> Option<&Token> {
+        let t = toks.get(idx)?;
+        if t.kind == TokenKind::Ident && is_addr_ident(t.text(src)) {
+            return Some(t);
+        }
+        if t.kind == TokenKind::Number && idx >= 2 && toks[idx - 1].is_punct(src, ".") {
+            let base = &toks[idx - 2];
+            if base.kind == TokenKind::Ident && is_addr_ident(base.text(src)) {
+                return Some(base);
+            }
+        }
+        None
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if pf.is_exempt(&exempt, t.start) {
+            continue;
+        }
+        // `addr.wrapping_add(…)` / `line_addr.0.wrapping_shl(…)`.
+        if t.kind == TokenKind::Ident
+            && t.text(src).starts_with("wrapping_")
+            && i >= 2
+            && toks[i - 1].is_punct(src, ".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(src, "("))
+        {
+            if let Some(base) = addr_operand(i - 2) {
+                out.push(super::violation(
+                    rel,
+                    pf,
+                    t.line,
+                    t.start,
+                    "unchecked-addr-arith",
+                    format!(
+                        "`{}` on address `{}` bypasses the checked helpers; \
+                         decompose through mempod_types::addr / convert instead",
+                        t.text(src),
+                        base.text(src),
+                    ),
+                ));
+            }
+            continue;
+        }
+        // `addr + x`, `x + addr`, `addr << k`, `addr.0 + x`, …
+        if t.kind == TokenKind::Punct && ADDR_OPS.contains(&t.text(src)) && i >= 1 {
+            let operand = addr_operand(i - 1).or_else(|| addr_operand(i + 1));
+            if let Some(base) = operand {
+                out.push(super::violation(
+                    rel,
+                    pf,
+                    t.line,
+                    t.start,
+                    "unchecked-addr-arith",
+                    format!(
+                        "raw `{}` arithmetic on address `{}`; route it through \
+                         the mempod_types::addr / geometry helpers so the bit \
+                         layout stays in one place",
+                        t.text(src),
+                        base.text(src),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("a.rs", &pf, &mut v);
+        v
+    }
+
+    #[test]
+    fn addition_and_shift_on_addr_names_flag() {
+        let v = run("fn f(addr: u64, base_addr: u64, k: u64) -> u64 {\n  \
+                     let a = addr + 64;\n  let b = base_addr << 6;\n  let c = k + addr;\n  \
+                     a + b + c\n}");
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, [2, 3, 4], "{v:?}");
+    }
+
+    #[test]
+    fn newtype_projection_and_wrapping_calls_flag() {
+        let v = run("fn f(line_addr: Addr, n: u64) -> u64 {\n  \
+                     let x = line_addr.0 + n;\n  line_addr.0.wrapping_add(n)\n}");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[1].message.contains("wrapping_add"));
+    }
+
+    #[test]
+    fn non_address_arithmetic_is_untouched() {
+        assert!(run("fn f(count: u64, total: u64) -> u64 { count + total << 1 }").is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod t {\n  fn f(addr: u64) -> u64 { addr + 1 }\n}").is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! `missing-docs` / `missing-debug`: every `pub` item in the API crates
+//! (`mempod-types`, `mempod-core`) needs a doc comment, and every `pub`
+//! struct/enum there needs `Debug` (derived or hand-written). Now driven
+//! by the item parser instead of line heuristics, so multi-line derives,
+//! nested modules, and `#[cfg(test)]` impl blocks are attributed
+//! correctly.
+
+use crate::lint::Violation;
+use crate::parser::{Item, ItemKind, ParsedFile};
+
+/// Crates whose public API must be documented and `Debug`.
+pub const API_CRATES: &[&str] = &["mempod-types", "mempod-core"];
+
+/// Runs the rules over one file.
+pub fn check(rel: &str, pf: &ParsedFile, out: &mut Vec<Violation>) {
+    // Types with a hand-written `impl … Debug for T` in this file.
+    let manual_debug: Vec<&str> = pf
+        .items
+        .iter()
+        .filter(|it| it.kind == ItemKind::Impl && it.trait_name.as_deref() == Some("Debug"))
+        .map(|it| it.name.as_str())
+        .collect();
+
+    for it in &pf.items {
+        if !it.vis_pub || it.cfg_test {
+            continue;
+        }
+        let kind = match it.kind {
+            ItemKind::Struct => "struct",
+            ItemKind::Enum => "enum",
+            ItemKind::Trait => "trait",
+            ItemKind::Fn => "fn",
+            ItemKind::Const => "const",
+            ItemKind::TypeAlias => "type",
+            // Re-exports and module declarations carry their docs at the
+            // definition site.
+            _ => continue,
+        };
+        if !it.has_doc {
+            out.push(super::violation(
+                rel,
+                pf,
+                it.line,
+                it.span.0,
+                "missing-docs",
+                format!("public {kind} `{}` has no doc comment", it.name),
+            ));
+        }
+        if matches!(it.kind, ItemKind::Struct | ItemKind::Enum)
+            && !derives_debug(it)
+            && !manual_debug.contains(&it.name.as_str())
+        {
+            out.push(super::violation(
+                rel,
+                pf,
+                it.line,
+                it.span.0,
+                "missing-debug",
+                format!(
+                    "public {kind} `{}` neither derives nor implements Debug",
+                    it.name
+                ),
+            ));
+        }
+    }
+}
+
+fn derives_debug(it: &Item) -> bool {
+    it.attrs.iter().any(|a| {
+        a.split("derive(").skip(1).any(|rest| match rest.find(')') {
+            Some(end) => rest[..end].split(',').any(|x| x.trim() == "Debug"),
+            None => false,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<(String, usize)> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("h.rs", &pf, &mut v);
+        v.into_iter().map(|v| (v.rule, v.line)).collect()
+    }
+
+    #[test]
+    fn docs_and_debug_are_demanded() {
+        let rules = run("/// Documented.\n#[derive(Debug)]\npub struct Good(u8);\n\
+             pub struct Bad(u8);\n\
+             /// Doc but no Debug.\npub enum NoDebug { A }\n\
+             impl std::fmt::Debug for Manual {\n}\n\
+             /// ok\npub struct Manual;\n");
+        assert!(rules.contains(&("missing-docs".into(), 4)), "{rules:?}");
+        assert!(rules.contains(&("missing-debug".into(), 4)), "{rules:?}");
+        assert!(rules.contains(&("missing-debug".into(), 6)), "{rules:?}");
+        assert_eq!(rules.len(), 3, "{rules:?}");
+    }
+
+    #[test]
+    fn multi_line_derives_and_doc_attr_count() {
+        let rules = run("/// Documented.\n#[derive(\n    Debug, Clone, Copy,\n)]\n\
+             #[serde(transparent)]\npub struct Spanning(u8);\n\
+             #[doc = \"attr doc\"]\n#[derive(Debug)]\npub struct AttrDoc(u8);\n");
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn private_and_test_items_are_skipped() {
+        let rules = run(
+            "struct Private(u8);\n#[cfg(test)]\nmod t {\n    pub struct TestOnly(u8);\n}\n\
+             pub use std::fmt::Debug;\npub mod sub;\n",
+        );
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn pub_methods_need_docs_too() {
+        let rules = run("pub struct S;\nimpl S {\n    pub fn naked(&self) {}\n}\n\
+                         impl std::fmt::Debug for S {\n}\n");
+        assert!(rules.contains(&("missing-docs".into(), 1)), "{rules:?}");
+        assert!(rules.contains(&("missing-docs".into(), 3)), "{rules:?}");
+    }
+}

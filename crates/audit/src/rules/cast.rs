@@ -1,0 +1,73 @@
+//! `lossy-cast`: bare `as` casts to integer types are forbidden in the
+//! derived address-arithmetic files. A silently truncated address corrupts
+//! every downstream figure; conversions must go through the checked
+//! helpers in `mempod_types::convert` (or `From`/`try_from`).
+
+use crate::lexer::TokenKind;
+use crate::lint::Violation;
+use crate::parser::ParsedFile;
+
+/// Integer cast targets that make an `as` cast potentially lossy.
+pub const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Runs the rule over one file.
+pub fn check(rel: &str, pf: &ParsedFile, out: &mut Vec<Violation>) {
+    let exempt = pf.exempt_ranges();
+    let src = &pf.src;
+    let toks = &pf.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokenKind::Ident && t.text(src) == "as") || pf.is_exempt(&exempt, t.start) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+            continue;
+        };
+        let target = target.text(src);
+        if INT_TARGETS.contains(&target) {
+            out.push(super::violation(
+                rel,
+                pf,
+                t.line,
+                t.start,
+                "lossy-cast",
+                format!(
+                    "bare `as {target}` cast in address arithmetic; use \
+                     mempod_types::convert (or From/try_from) instead"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("g.rs", &pf, &mut v);
+        v
+    }
+
+    #[test]
+    fn integer_targets_flag_float_targets_do_not() {
+        let v = run(
+            "fn f(x: u64, y: u64) {\n  let a = x as u32;\n  let b = x as f64;\n  \
+                     let c = y as usize;\n}",
+        );
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, [2, 4]);
+    }
+
+    #[test]
+    fn use_rename_and_test_casts_are_exempt() {
+        let v = run(
+            "use std::io as stdio;\n#[cfg(test)]\nmod t {\n  fn f(x: u64) -> u8 { x as u8 }\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! `coverage-gap` — the meta-lint that keeps the derived rule coverage
+//! honest. PR 1's hand-maintained file lists rotted silently:
+//! `crates/core/src/migration.rs`, `remap.rs`, and `segment.rs` sat on the
+//! migration hot path for multiple PRs with no panic/cast rules applied.
+//! With coverage now *derived* from call-graph reachability, the remaining
+//! failure mode is a pipeline module the reachability analysis cannot
+//! connect to the entry points (a module wired in via trait objects the
+//! name matcher misses, dead code awaiting deletion, or a typo'd root).
+//! This rule flags every such module, so a pipeline file either gets rule
+//! coverage or gets a visible, baselined exception — never silence.
+
+use crate::callgraph::{Coverage, Model};
+use crate::lint::Violation;
+use crate::parser::ItemKind;
+
+/// Runs the meta-lint over the model.
+pub fn check(model: &Model, cov: &Coverage, out: &mut Vec<Violation>) {
+    for (fi, file) in model.files.iter().enumerate() {
+        if !cov.pipeline.contains(&file.rel) || model.reachable_files.contains(&fi) {
+            continue;
+        }
+        let fns: Vec<_> = file
+            .parsed
+            .items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Fn && !it.cfg_test && it.body.is_some())
+            .collect();
+        let Some(first) = fns.first() else {
+            continue; // declarations-only module (types, consts, re-exports)
+        };
+        out.push(super::violation(
+            &file.rel,
+            &file.parsed,
+            first.line,
+            first.span.0,
+            "coverage-gap",
+            format!(
+                "pipeline module with {} function(s) is not reachable from \
+                 the simulation entry points ({}), so the derived hot-path \
+                 rules do not cover it; wire it into the pipeline, delete \
+                 it, or record it in audit.baseline.json",
+                fns.len(),
+                model.roots.join(", "),
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::derive_coverage;
+
+    #[test]
+    fn orphan_pipeline_module_is_flagged() {
+        let root = std::env::temp_dir().join(format!("mempod-coverage-gap-{}", std::process::id()));
+        if root.exists() {
+            std::fs::remove_dir_all(&root).expect("stale fixture removed");
+        }
+        let write = |rel: &str, content: &str| {
+            let p = root.join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(p, content).expect("write");
+        };
+        write(
+            "crates/sim/Cargo.toml",
+            "[package]\nname = \"mempod-sim\"\n",
+        );
+        write("crates/sim/src/lib.rs", "pub mod simulator;\n");
+        write(
+            "crates/sim/src/simulator.rs",
+            "pub struct Simulator;\nimpl Simulator {\n  pub fn run(self) {}\n}\n",
+        );
+        write(
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"mempod-core\"\n",
+        );
+        write(
+            "crates/core/src/lib.rs",
+            "pub mod lonely;\npub mod decls_only;\n",
+        );
+        write(
+            "crates/core/src/lonely.rs",
+            "pub fn unused_logic() -> u8 { 9 }\n",
+        );
+        write(
+            "crates/core/src/decls_only.rs",
+            "pub struct JustAType(pub u8);\n",
+        );
+
+        let model = Model::build(&root).expect("model");
+        let cov = derive_coverage(&model);
+        let mut out = Vec::new();
+        check(&model, &cov, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "coverage-gap");
+        assert_eq!(out[0].file, "crates/core/src/lonely.rs");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

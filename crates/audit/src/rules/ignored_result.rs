@@ -1,0 +1,239 @@
+//! `ignored-result`: a statement that calls a workspace function returning
+//! `Result` (or marked `#[must_use]`) and discards the value. The
+//! compiler's `unused_must_use` lint already covers direct calls the
+//! compiler *sees* — but this workspace routes builds through feature
+//! combinations where whole modules are compiled out, and a discarded
+//! migration error is a silently wrong simulation.
+//!
+//! Resolution is name-based over the workspace function index, so the rule
+//! only fires when **every** workspace function with the called name
+//! returns `Result`/`#[must_use]` — an ambiguous name never flags. Names
+//! that collide with common std methods (`insert`, `send`, `write`, …)
+//! are skipped entirely: `map.insert(k, v);` must not be blamed for a
+//! workspace `fn insert` it never calls.
+
+use std::collections::HashMap;
+
+use crate::callgraph::{Coverage, Model};
+use crate::lexer::TokenKind;
+use crate::lint::Violation;
+
+/// Method names too overloaded across std to resolve by name.
+const STD_COLLISIONS: &[&str] = &[
+    "insert", "remove", "get", "push", "pop", "write", "read", "send", "recv", "flush", "take",
+    "replace", "set", "next", "clear", "drain", "extend", "wait", "join", "lock", "min", "max",
+    "cmp", "new", "from", "try_from", "parse", "clone", "iter", "len",
+];
+
+/// Statement-context tokens that mean the call's value is consumed.
+const CONSUMING_CONTEXT: &[&str] = &["=", "+=", "-=", "let", "return", "break", "match", "else"];
+
+/// Runs the rule over every pipeline file of the model.
+pub fn check(model: &Model, cov: &Coverage, out: &mut Vec<Violation>) {
+    // Index: fn name -> does EVERY non-test workspace fn with that name
+    // return Result / carry #[must_use]?
+    let mut index: HashMap<&str, bool> = HashMap::new();
+    for (_, _, it) in model.fns() {
+        let strict = it.must_use || it.ret.as_deref().is_some_and(returns_result);
+        index
+            .entry(it.name.as_str())
+            .and_modify(|all| *all &= strict)
+            .or_insert(strict);
+    }
+
+    for (fi, file) in model.files.iter().enumerate() {
+        if !cov.pipeline.contains(&file.rel) {
+            continue;
+        }
+        let pf = &file.parsed;
+        let exempt = pf.exempt_ranges();
+        let src = &pf.src;
+        let toks = &pf.tokens;
+        let _ = fi;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident || pf.is_exempt(&exempt, t.start) {
+                continue;
+            }
+            let name = t.text(src);
+            if STD_COLLISIONS.contains(&name) || index.get(name) != Some(&true) {
+                continue;
+            }
+            if !toks.get(i + 1).is_some_and(|n| n.is_punct(src, "(")) {
+                continue;
+            }
+            // The value is discarded iff the matching `)` is immediately
+            // followed by `;` and nothing upstream in the statement
+            // consumes it.
+            let Some(close) = matching_paren(pf, i + 1) else {
+                continue;
+            };
+            if !toks.get(close + 1).is_some_and(|n| n.is_punct(src, ";")) {
+                continue;
+            }
+            if statement_consumes(pf, i) {
+                continue;
+            }
+            out.push(super::violation(
+                &file.rel,
+                pf,
+                t.line,
+                t.start,
+                "ignored-result",
+                format!(
+                    "Result returned by `{name}` is discarded; propagate it \
+                     with `?`, handle it, or bind it explicitly"
+                ),
+            ));
+        }
+    }
+}
+
+fn returns_result(ret: &str) -> bool {
+    ret.starts_with("Result") || ret.starts_with("std::result::Result")
+}
+
+/// Token index of the `)` matching the `(` at `open`.
+fn matching_paren(pf: &crate::parser::ParsedFile, open: usize) -> Option<usize> {
+    let src = &pf.src;
+    let mut depth = 0i32;
+    for (j, t) in pf.tokens.iter().enumerate().skip(open) {
+        if t.is_punct(src, "(") {
+            depth += 1;
+        } else if t.is_punct(src, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Walks back from the call head to the start of the statement; if an
+/// assignment/binding/return consumes the value, the call is not a
+/// discard. The receiver chain (`self.engine.plan(…)`) is part of the
+/// call and never disqualifies.
+fn statement_consumes(pf: &crate::parser::ParsedFile, call_ident: usize) -> bool {
+    let src = &pf.src;
+    let toks = &pf.tokens;
+    let mut j = call_ident;
+    while j > 0 {
+        let prev = &toks[j - 1];
+        let txt = prev.text(src);
+        if matches!(txt, ";" | "{" | "}") {
+            return false;
+        }
+        if prev.kind == TokenKind::Punct && matches!(txt, "?") {
+            return true;
+        }
+        if CONSUMING_CONTEXT.contains(&txt) {
+            return true;
+        }
+        j -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::derive_coverage;
+    use std::path::PathBuf;
+
+    /// A two-crate fixture whose sim crate calls into core.
+    fn fixture(tag: &str, core_extra: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "mempod-ignored-result-{tag}-{}",
+            std::process::id()
+        ));
+        if root.exists() {
+            std::fs::remove_dir_all(&root).expect("stale fixture removed");
+        }
+        let write = |rel: &str, content: &str| {
+            let p = root.join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(p, content).expect("write");
+        };
+        write(
+            "crates/sim/Cargo.toml",
+            "[package]\nname = \"mempod-sim\"\n",
+        );
+        write("crates/sim/src/lib.rs", "pub mod simulator;\n");
+        write(
+            "crates/sim/src/simulator.rs",
+            "pub struct Simulator;\nimpl Simulator {\n  pub fn run(self) { \
+             let _ = mempod_core::engine::migrate_page(1); }\n}\n",
+        );
+        write(
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"mempod-core\"\n",
+        );
+        write("crates/core/src/lib.rs", "pub mod engine;\n");
+        write(
+            "crates/core/src/engine.rs",
+            &format!(
+                "pub fn migrate_page(p: u64) -> Result<u64, String> {{ Ok(p) }}\n{core_extra}"
+            ),
+        );
+        root
+    }
+
+    fn findings(root: &PathBuf) -> Vec<Violation> {
+        let model = Model::build(root).expect("model");
+        let cov = derive_coverage(&model);
+        let mut out = Vec::new();
+        check(&model, &cov, &mut out);
+        std::fs::remove_dir_all(root).ok();
+        out
+    }
+
+    #[test]
+    fn discarded_result_call_flags() {
+        let root = fixture(
+            "discard",
+            "pub fn tick(&mut ()) {}\npub fn driver(p: u64) {\n  migrate_page(p);\n}\n",
+        );
+        let v = findings(&root);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "ignored-result");
+        assert!(v[0].message.contains("migrate_page"));
+    }
+
+    #[test]
+    fn bound_propagated_and_tail_uses_do_not_flag() {
+        let root = fixture(
+            "consumed",
+            "pub fn driver(p: u64) -> Result<u64, String> {\n  \
+             let a = migrate_page(p);\n  drop(a);\n  migrate_page(p)?;\n  \
+             let _ = migrate_page(p);\n  migrate_page(p)\n}\n",
+        );
+        let v = findings(&root);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn method_receiver_chain_still_flags() {
+        let root = fixture(
+            "chain",
+            "pub struct Engine;\nimpl Engine {\n  pub fn plan(&self) -> Result<(), String> { \
+             Ok(()) }\n}\npub struct Outer { pub engine: Engine }\nimpl Outer {\n  \
+             pub fn step(&self) {\n    self.engine.plan();\n  }\n}\n",
+        );
+        let v = findings(&root);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("plan"));
+    }
+
+    #[test]
+    fn std_collision_names_never_flag() {
+        let root = fixture(
+            "std",
+            "pub fn insert(k: u64) -> Result<(), String> { let _ = k; Ok(()) }\n\
+             pub fn driver(m: &mut std::collections::HashMap<u64, u64>) {\n  \
+             m.insert(1, 2);\n}\n",
+        );
+        let v = findings(&root);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,49 @@
+//! The lint rule families, each in its own module, all consuming the
+//! shared source model ([`crate::lexer`] / [`crate::parser`] /
+//! [`crate::callgraph`]) instead of raw text.
+//!
+//! Pattern rules (scoped by the *derived* coverage sets):
+//! * [`panic`] — panicking constructs banned on the migration hot path.
+//! * [`print`] — ad-hoc printing banned in the simulation pipeline.
+//! * [`cast`] — bare integer `as` casts banned in address arithmetic.
+//! * [`api`] — doc/`Debug` coverage of the public API crates.
+//!
+//! Semantic rules the old line-scanner could not express:
+//! * [`units`] — arithmetic mixing differently-suffixed time units.
+//! * [`addr_arith`] — unchecked arithmetic on raw address integers.
+//! * [`ignored_result`] — discarded `Result`/`#[must_use]` values.
+//!
+//! Meta-lint:
+//! * [`coverage`] — pipeline modules that escape the derived coverage.
+
+pub mod addr_arith;
+pub mod api;
+pub mod cast;
+pub mod coverage;
+pub mod ignored_result;
+pub mod panic;
+pub mod print;
+pub mod units;
+
+use crate::lint::Violation;
+use crate::parser::ParsedFile;
+
+/// Builds a violation anchored at byte offset `pos` of `pf`.
+pub(crate) fn violation(
+    rel: &str,
+    pf: &ParsedFile,
+    line: u32,
+    pos: usize,
+    rule: &str,
+    message: String,
+) -> Violation {
+    Violation {
+        file: rel.to_string(),
+        line: line as usize,
+        rule: rule.to_string(),
+        message,
+        snippet: pf.snippet_at(pos),
+        allowed: false,
+        baselined: false,
+    }
+}

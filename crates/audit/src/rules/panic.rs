@@ -1,0 +1,91 @@
+//! `hot-path-panic`: panicking conveniences are forbidden in the derived
+//! hot-path files. Hot paths return `Result`s; `.unwrap()` on the
+//! migration pipeline turns a recoverable condition into a dead simulation
+//! (and a wrong figure) at production scale.
+
+use crate::lexer::TokenKind;
+use crate::lint::Violation;
+use crate::parser::ParsedFile;
+
+/// Macros that panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Runs the rule over one file.
+pub fn check(rel: &str, pf: &ParsedFile, out: &mut Vec<Violation>) {
+    let exempt = pf.exempt_ranges();
+    let src = &pf.src;
+    let toks = &pf.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || pf.is_exempt(&exempt, t.start) {
+            continue;
+        }
+        let text = t.text(src);
+        let next_is = |p: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(src, p));
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct(src, ".");
+        let construct = if prev_is_dot && text == "unwrap" && next_is("(") {
+            Some(".unwrap()")
+        } else if prev_is_dot && text == "expect" && next_is("(") {
+            Some(".expect(…)")
+        } else if PANIC_MACROS.contains(&text) && next_is("!") {
+            Some(text)
+        } else {
+            None
+        };
+        if let Some(c) = construct {
+            out.push(super::violation(
+                rel,
+                pf,
+                t.line,
+                t.start,
+                "hot-path-panic",
+                format!(
+                    "`{c}` is forbidden on the hot path; return a Result or \
+                     handle the case explicitly"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("f.rs", &pf, &mut v);
+        v
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let v = run(
+            "fn f(x: Option<u8>) -> u8 {\n  if x.is_none() { panic!(\"no\") }\n  \
+                     x.expect(\"x\").min(x.unwrap())\n}\nfn g() { todo!() }",
+        );
+        let rules: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(rules, [2, 3, 3, 5], "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_err_do_not_match() {
+        assert!(run("fn f() { o.unwrap_or(3); r.expect_err(\"e\"); }").is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_tests_are_exempt() {
+        let v = run("fn f() { let s = \"panic!(\"; } // .unwrap()\n\
+             #[cfg(test)]\nmod tests {\n  fn t() { Some(1).unwrap(); }\n}\n\
+             macro_rules! m { () => { x.unwrap() }; }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn free_unwrap_fn_is_not_flagged_without_receiver() {
+        // A local helper *named* unwrap, called without `.`, is not the
+        // Option/Result method.
+        assert!(run("fn f() { unwrap(); }").is_empty());
+    }
+}

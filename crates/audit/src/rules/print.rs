@@ -1,0 +1,67 @@
+//! `hot-path-print`: ad-hoc `println!`/`eprintln!`/`print!`/`eprint!` are
+//! forbidden in the simulation pipeline's library modules. Per-access
+//! printing destroys throughput, and diagnostics belong in the structured
+//! `mempod-telemetry` event stream. Experiment binaries still print — that
+//! is their job — so only library modules are covered.
+
+use crate::lexer::TokenKind;
+use crate::lint::Violation;
+use crate::parser::ParsedFile;
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+/// Runs the rule over one file.
+pub fn check(rel: &str, pf: &ParsedFile, out: &mut Vec<Violation>) {
+    let exempt = pf.exempt_ranges();
+    let src = &pf.src;
+    let toks = &pf.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || pf.is_exempt(&exempt, t.start) {
+            continue;
+        }
+        let text = t.text(src);
+        if PRINT_MACROS.contains(&text) && toks.get(i + 1).is_some_and(|n| n.is_punct(src, "!")) {
+            out.push(super::violation(
+                rel,
+                pf,
+                t.line,
+                t.start,
+                "hot-path-print",
+                format!(
+                    "`{text}!` is forbidden in the simulation pipeline; emit a \
+                     structured mempod-telemetry event instead"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("f.rs", &pf, &mut v);
+        v
+    }
+
+    #[test]
+    fn each_macro_flags_once() {
+        let v = run("fn f() { println!(\"x\"); }\nfn g() { eprintln!(\"y\"); }");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn custom_macros_prose_and_tests_do_not_match() {
+        let v = run(
+            "// println!(\"comment\")\nfn f() { let s = \"println!(\"; my_print!(s); }\n\
+             #[cfg(test)]\nmod tests {\n  fn t() { println!(\"fine\"); }\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

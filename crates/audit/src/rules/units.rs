@@ -1,0 +1,151 @@
+//! `unit-mismatch`: additive or comparison arithmetic mixing values whose
+//! names carry different time units (`_ps`, `_ns`, `_us`, `_ms`,
+//! `_cycles`) without an explicit conversion.
+//!
+//! The suite expresses all event timing in integer picoseconds
+//! (`mempod_types::time::Picos`) precisely because mixed clock domains
+//! (ps/ns/cycles at several frequencies) are where silent corruption
+//! creeps in. `Picos`-typed values are safe by construction; this rule
+//! covers the raw `u64`s that flow around them — a `deadline_ns` compared
+//! against a `now_ps` is wrong by 1000× and no type checker will say so.
+//!
+//! Heuristic and proudly so: both operands must be identifiers (or field
+//! accesses) with a recognized unit suffix, joined by `+ - < > <= >= ==
+//! != += -=`. Multiplicative operators are excluded — `x_ns * 1000` is
+//! how a conversion is *written*. Conversion calls are fine because a call
+//! like `ps_from_ns(deadline_ns)` puts a `(` after the callee, and the
+//! callee's own suffix (`…_ns` taking ns *in*, named for its input) is
+//! compared instead of the argument's.
+
+use crate::lexer::TokenKind;
+use crate::lint::Violation;
+use crate::parser::ParsedFile;
+
+/// Operators whose operands must share a unit.
+const UNIT_SENSITIVE_OPS: &[&str] = &["+", "-", "<", ">", "<=", ">=", "==", "!=", "+=", "-="];
+
+/// The time unit an identifier's name advertises, if any.
+fn unit_of(name: &str) -> Option<&'static str> {
+    const SUFFIXES: &[(&str, &str)] = &[
+        ("ps", "ps"),
+        ("ns", "ns"),
+        ("us", "us"),
+        ("ms", "ms"),
+        ("cycles", "cycles"),
+        ("cyc", "cycles"),
+        ("khz", "khz"),
+        ("mhz", "mhz"),
+    ];
+    for (suffix, unit) in SUFFIXES {
+        if name == *suffix || name.ends_with(&format!("_{suffix}")) {
+            return Some(unit);
+        }
+    }
+    None
+}
+
+/// Runs the rule over one file.
+pub fn check(rel: &str, pf: &ParsedFile, out: &mut Vec<Violation>) {
+    let exempt = pf.exempt_ranges();
+    let src = &pf.src;
+    let toks = &pf.tokens;
+    for i in 1..toks.len().saturating_sub(1) {
+        let op = &toks[i];
+        if op.kind != TokenKind::Punct
+            || !UNIT_SENSITIVE_OPS.contains(&op.text(src))
+            || pf.is_exempt(&exempt, op.start)
+        {
+            continue;
+        }
+        let lhs = &toks[i - 1];
+        if lhs.kind != TokenKind::Ident {
+            continue;
+        }
+        // The rhs may be a field/method chain (`s.warmup_cycles`,
+        // `clock.ps_to_cycles(d)`); its unit is the terminal name's.
+        let mut r = i + 1;
+        if toks[r].kind != TokenKind::Ident {
+            continue;
+        }
+        while toks.get(r + 1).is_some_and(|t| t.is_punct(src, "."))
+            && toks.get(r + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            r += 2;
+        }
+        let rhs = &toks[r];
+        let (Some(lu), Some(ru)) = (unit_of(lhs.text(src)), unit_of(rhs.text(src))) else {
+            continue;
+        };
+        if lu != ru {
+            out.push(super::violation(
+                rel,
+                pf,
+                op.line,
+                op.start,
+                "unit-mismatch",
+                format!(
+                    "`{}` ({lu}) {} `{}` ({ru}) mixes time units without an \
+                     explicit conversion; convert through mempod_types::time \
+                     (Picos / Clock) first",
+                    lhs.text(src),
+                    op.text(src),
+                    rhs.text(src),
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("u.rs", &pf, &mut v);
+        v
+    }
+
+    #[test]
+    fn mixed_units_in_add_and_compare_flag() {
+        let v = run(
+            "fn f(now_ps: u64, deadline_ns: u64, epoch_cycles: u64) -> bool {\n  \
+                     let t = now_ps + deadline_ns;\n  t > epoch_cycles\n}",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("(ps)"), "{}", v[0].message);
+        assert!(v[0].message.contains("(ns)"));
+    }
+
+    #[test]
+    fn same_unit_arithmetic_is_fine() {
+        assert!(run("fn f(a_ps: u64, b_ps: u64) -> u64 { a_ps + b_ps }").is_empty());
+    }
+
+    #[test]
+    fn multiplication_is_a_conversion_not_a_mismatch() {
+        assert!(run("fn f(t_ns: u64) -> u64 { t_ns * 1000 }").is_empty());
+    }
+
+    #[test]
+    fn unsuffixed_identifiers_never_flag() {
+        assert!(run("fn f(total: u64, count_ns: u64) -> u64 { total + count_ns }").is_empty());
+    }
+
+    #[test]
+    fn field_access_operands_flag_too() {
+        let v = run("fn f(s: S) -> u64 { s.start_ps + s.warmup_cycles }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("cycles"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        assert!(run(
+            "#[cfg(test)]\nmod t {\n  fn f(a_ps: u64, b_ns: u64) -> u64 { a_ps + b_ns }\n}"
+        )
+        .is_empty());
+    }
+}

@@ -1,35 +1,121 @@
-//! Regression tests for the lint engine against fixture trees: a clean
-//! tree passes, a planted violation is found (and fails the CLI with a
-//! JSON report naming file, line, and rule), and the allowlist
-//! grandfathers exactly what it names.
+//! Regression tests for the lint engine against workspace-shaped fixture
+//! trees (each crate with a `Cargo.toml`, a `lib.rs`, and modules wired to
+//! the simulation entry points, so the derived coverage behaves as it does
+//! on the real tree): a clean tree passes, planted violations are found
+//! with file/line/rule, lexer edge cases don't confuse the rules, the
+//! meta-lint catches a deliberately omitted pipeline module, the derived
+//! coverage is a strict superset of the PR 1 hardcoded file lists, and the
+//! CLI honors the exit-code contract (0 clean / 1 blocking / 3 stale
+//! allowlist) plus the `--write-baseline` → `--deny-new` flow.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use mempod_audit::{run_lint, Allowlist};
+use mempod_audit::callgraph::derive_coverage;
+use mempod_audit::lint::{LEGACY_CAST_FILES, LEGACY_HOT_PATH_FILES, LEGACY_PRINT_FILES};
+use mempod_audit::{run_lint, Allowlist, Model};
 
-/// Every file the rule set names, with clean placeholder content.
-const FIXTURE_FILES: &[&str] = &[
-    "crates/dram/src/channel.rs",
-    "crates/dram/src/mapper.rs",
-    "crates/dram/src/system.rs",
-    "crates/sim/src/runner.rs",
-    "crates/sim/src/simulator.rs",
-    "crates/core/src/manager.rs",
-    "crates/core/src/mempod.rs",
-    "crates/core/src/hma.rs",
-    "crates/core/src/thm.rs",
-    "crates/core/src/cameo.rs",
-    "crates/telemetry/src/metrics.rs",
-    "crates/telemetry/src/ring.rs",
-    "crates/telemetry/src/event.rs",
-    "crates/telemetry/src/sink.rs",
-    "crates/telemetry/src/lib.rs",
-    "crates/types/src/addr.rs",
-    "crates/types/src/geometry.rs",
+/// Clean module bodies, each exposing a `hook_*` function that
+/// `sim_step` (below) calls so every pipeline file is reachable.
+const FIXTURE_FILES: &[(&str, &str)] = &[
+    (
+        "crates/dram/Cargo.toml",
+        "[package]\nname = \"mempod-dram\"\n",
+    ),
+    (
+        "crates/dram/src/lib.rs",
+        "//! Fixture crate.\npub mod channel;\npub mod mapper;\npub mod system;\n",
+    ),
+    (
+        "crates/dram/src/channel.rs",
+        "//! Fixture module.\nfn hook_channel() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/dram/src/mapper.rs",
+        "//! Fixture module.\nfn hook_mapper() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/dram/src/system.rs",
+        "//! Fixture module.\nfn hook_system() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/sim/Cargo.toml",
+        "[package]\nname = \"mempod-sim\"\n",
+    ),
+    (
+        "crates/sim/src/lib.rs",
+        "//! Fixture crate.\npub mod runner;\npub mod simulator;\n",
+    ),
+    (
+        "crates/sim/src/runner.rs",
+        "//! Fixture module.\npub fn try_run_jobs() { sim_step(); }\n",
+    ),
+    (
+        "crates/sim/src/simulator.rs",
+        "//! Fixture module.\npub struct Simulator;\nimpl Simulator {\n    \
+         pub fn run(self) { sim_step(); }\n}\nfn sim_step() {\n    \
+         hook_channel();\n    hook_mapper();\n    hook_system();\n    \
+         hook_manager();\n    hook_mempod();\n    hook_hma();\n    \
+         hook_thm();\n    hook_cameo();\n}\n",
+    ),
+    (
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"mempod-core\"\n",
+    ),
+    (
+        "crates/core/src/lib.rs",
+        "//! Fixture crate.\npub mod cameo;\npub mod hma;\npub mod manager;\n\
+         pub mod mempod;\npub mod thm;\n",
+    ),
+    (
+        "crates/core/src/manager.rs",
+        "//! Fixture module.\nfn hook_manager() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/core/src/mempod.rs",
+        "//! Fixture module.\nfn hook_mempod() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/core/src/hma.rs",
+        "//! Fixture module.\nfn hook_hma() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/core/src/thm.rs",
+        "//! Fixture module.\nfn hook_thm() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/core/src/cameo.rs",
+        "//! Fixture module.\nfn hook_cameo() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/telemetry/Cargo.toml",
+        "[package]\nname = \"mempod-telemetry\"\n",
+    ),
+    (
+        "crates/telemetry/src/lib.rs",
+        "//! Fixture crate.\npub mod metrics;\n",
+    ),
+    (
+        "crates/telemetry/src/metrics.rs",
+        "//! Fixture module.\nfn telemetry_note() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/types/Cargo.toml",
+        "[package]\nname = \"mempod-types\"\n",
+    ),
+    (
+        "crates/types/src/lib.rs",
+        "//! Fixture crate.\npub mod addr;\npub mod geometry;\n",
+    ),
+    (
+        "crates/types/src/addr.rs",
+        "//! Fixture module.\nfn addr_helper() -> u64 { 41 + 1 }\n",
+    ),
+    (
+        "crates/types/src/geometry.rs",
+        "//! Fixture module.\nfn geometry_helper() -> u64 { 41 + 1 }\n",
+    ),
 ];
-
-const CLEAN_STUB: &str = "//! Fixture module.\n\nfn helper() -> u64 {\n    41 + 1\n}\n";
 
 /// Builds a workspace-shaped fixture tree under a unique temp directory.
 fn fixture_tree(tag: &str) -> PathBuf {
@@ -38,10 +124,10 @@ fn fixture_tree(tag: &str) -> PathBuf {
     if root.exists() {
         std::fs::remove_dir_all(&root).expect("stale fixture removed");
     }
-    for rel in FIXTURE_FILES {
+    for (rel, content) in FIXTURE_FILES {
         let path = root.join(rel);
         std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
-        std::fs::write(&path, CLEAN_STUB).expect("write stub");
+        std::fs::write(&path, content).expect("write stub");
     }
     root
 }
@@ -59,7 +145,8 @@ fn clean_tree_passes() {
         "clean fixture flagged: {:?}",
         report.violations
     );
-    assert!(report.files_scanned >= FIXTURE_FILES.len());
+    assert!(report.files_scanned >= 15);
+    assert!(report.roots.contains(&"Simulator::run".to_string()));
     std::fs::remove_dir_all(&root).ok();
 }
 
@@ -69,7 +156,7 @@ fn planted_unwrap_is_found_with_file_line_and_rule() {
     plant(
         &root,
         "crates/dram/src/channel.rs",
-        "//! Fixture.\n\nfn bad(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        "//! Fixture.\n\nfn hook_channel(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
     );
     let report = run_lint(&root, &Allowlist::default());
     assert!(!report.ok());
@@ -104,20 +191,20 @@ fn planted_cast_is_found_but_checked_conversion_is_not() {
 }
 
 #[test]
-fn planted_println_is_found_in_pipeline_modules() {
+fn planted_println_is_found_in_pipeline_and_telemetry_modules() {
     let root = fixture_tree("print");
     plant(
         &root,
-        "crates/sim/src/simulator.rs",
-        "//! Fixture.\n\nfn chatty() {\n    println!(\"migrated!\");\n}\n",
+        "crates/core/src/hma.rs",
+        "//! Fixture.\n\nfn hook_hma() {\n    eprintln!(\"interval done\");\n}\n",
     );
+    // Telemetry is print-covered in full by policy, reachable or not.
     plant(
         &root,
-        "crates/core/src/hma.rs",
-        "//! Fixture.\n\nfn also_chatty() {\n    eprintln!(\"interval done\");\n}\n",
+        "crates/telemetry/src/metrics.rs",
+        "//! Fixture.\n\nfn chatty() {\n    println!(\"migrated!\");\n}\n",
     );
     let report = run_lint(&root, &Allowlist::default());
-    assert!(!report.ok());
     let found: Vec<(&str, usize, &str)> = report
         .blocking()
         .map(|v| (v.file.as_str(), v.line, v.rule.as_str()))
@@ -126,27 +213,9 @@ fn planted_println_is_found_in_pipeline_modules() {
         found,
         [
             ("crates/core/src/hma.rs", 4, "hot-path-print"),
-            ("crates/sim/src/simulator.rs", 4, "hot-path-print"),
+            ("crates/telemetry/src/metrics.rs", 4, "hot-path-print"),
         ],
         "{found:?}"
-    );
-    std::fs::remove_dir_all(&root).ok();
-}
-
-#[test]
-fn println_in_test_module_is_exempt() {
-    let root = fixture_tree("print-test");
-    plant(
-        &root,
-        "crates/telemetry/src/metrics.rs",
-        "//! Fixture.\n\nfn fine() {}\n\n#[cfg(test)]\nmod tests {\n    \
-         #[test]\n    fn t() {\n        println!(\"debugging a test is fine\");\n    }\n}\n",
-    );
-    let report = run_lint(&root, &Allowlist::default());
-    assert!(
-        report.ok(),
-        "test-only println flagged: {:?}",
-        report.violations
     );
     std::fs::remove_dir_all(&root).ok();
 }
@@ -157,13 +226,57 @@ fn cfg_test_regions_are_exempt() {
     plant(
         &root,
         "crates/core/src/mempod.rs",
-        "//! Fixture.\n\nfn fine() {}\n\n#[cfg(test)]\nmod tests {\n    \
-         #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+        "//! Fixture.\n\nfn hook_mempod() {}\n\n#[cfg(test)]\nmod tests {\n    \
+         #[test]\n    fn t() {\n        println!(\"{}\", Some(1).unwrap());\n    }\n}\n",
     );
     let report = run_lint(&root, &Allowlist::default());
     assert!(
         report.ok(),
-        "test-only unwrap flagged: {:?}",
+        "test-only unwrap/println flagged: {:?}",
+        report.violations
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Satellite: `#[cfg(test)]` attribution on *nested* modules and on impl
+/// blocks — exercised through a full fixture tree, not just the parser.
+#[test]
+fn cfg_test_on_nested_modules_and_impl_blocks_is_exempt() {
+    let root = fixture_tree("cfgtest-nested");
+    plant(
+        &root,
+        "crates/core/src/thm.rs",
+        "//! Fixture.\n\nfn hook_thm() {}\n\nmod outer {\n    \
+         #[cfg(test)]\n    mod inner {\n        fn t(x: Option<u8>) -> u8 { x.unwrap() }\n    }\n}\n\
+         \nstruct Probe;\n\n#[cfg(test)]\nimpl Probe {\n    \
+         fn check(x: Option<u8>) -> u8 {\n        x.expect(\"test-only\")\n    }\n}\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    assert!(
+        report.ok(),
+        "cfg(test) nested mod / impl flagged: {:?}",
+        report.violations
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Satellite: raw strings and nested block comments must be opaque to the
+/// rules — panicking constructs *inside literals or comments* are text.
+#[test]
+fn raw_strings_and_nested_comments_hide_rule_patterns() {
+    let root = fixture_tree("lexer-edges");
+    plant(
+        &root,
+        "crates/dram/src/mapper.rs",
+        "//! Fixture.\n\nfn hook_mapper() -> &'static str {\n    \
+         r#\"docs say: never x.unwrap() or panic!(\"boom\") here\"#\n}\n\n\
+         /* outer /* println!(\"nested comment\") */ still a comment */\n\
+         fn quiet() {}\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    assert!(
+        report.ok(),
+        "literal/comment content flagged: {:?}",
         report.violations
     );
     std::fs::remove_dir_all(&root).ok();
@@ -175,7 +288,7 @@ fn undocumented_pub_api_is_flagged() {
     plant(
         &root,
         "crates/core/src/manager.rs",
-        "//! Fixture.\n\npub struct Undocumented(u8);\n",
+        "//! Fixture.\n\nfn hook_manager() {}\n\npub struct Undocumented(u8);\n",
     );
     let report = run_lint(&root, &Allowlist::default());
     let rules: Vec<&str> = report.blocking().map(|v| v.rule.as_str()).collect();
@@ -184,13 +297,81 @@ fn undocumented_pub_api_is_flagged() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// Satellite: the `coverage-gap` meta-lint catches a pipeline module that
+/// is wired into the module tree but deliberately omitted from the call
+/// graph — the failure mode that silently rotted PR 1's hardcoded lists.
+#[test]
+fn deliberately_omitted_pipeline_module_fails_the_meta_lint() {
+    let root = fixture_tree("omitted");
+    plant(
+        &root,
+        "crates/core/src/lib.rs",
+        "//! Fixture crate.\npub mod cameo;\npub mod hma;\npub mod manager;\n\
+         pub mod mempod;\npub mod orphaned;\npub mod thm;\n",
+    );
+    plant(
+        &root,
+        "crates/core/src/orphaned.rs",
+        "//! A migration helper nobody calls.\nfn plan_migration() -> u64 { 7 }\n",
+    );
+    let report = run_lint(&root, &Allowlist::default());
+    let gaps: Vec<&str> = report
+        .blocking()
+        .filter(|v| v.rule == "coverage-gap")
+        .map(|v| v.file.as_str())
+        .collect();
+    assert_eq!(
+        gaps,
+        ["crates/core/src/orphaned.rs"],
+        "{:?}",
+        report.violations
+    );
+    // The orphan is also excluded from the derived hot set.
+    assert!(!report.coverage.hot.contains("crates/core/src/orphaned.rs"));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Acceptance: on the real workspace, the derived coverage is a strict
+/// superset of every file PR 1 hardcoded — the derivation may only ever
+/// widen coverage.
+#[test]
+fn derived_coverage_supersets_legacy_hardcoded_lists() {
+    let real_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let model = Model::build(&real_root).expect("real workspace model");
+    let cov = derive_coverage(&model);
+    for f in LEGACY_HOT_PATH_FILES {
+        assert!(cov.hot.contains(*f), "hot set lost legacy file {f}");
+    }
+    for f in LEGACY_PRINT_FILES {
+        assert!(cov.print.contains(*f), "print set lost legacy file {f}");
+    }
+    for f in LEGACY_CAST_FILES {
+        assert!(cov.cast.contains(*f), "cast set lost legacy file {f}");
+    }
+    // Strictness: the derivation reaches files the hardcoded lists missed.
+    for f in [
+        "crates/core/src/migration.rs",
+        "crates/core/src/remap.rs",
+        "crates/core/src/segment.rs",
+    ] {
+        assert!(cov.hot.contains(f), "derived hot set must include {f}");
+    }
+    assert!(cov.hot.len() > LEGACY_HOT_PATH_FILES.len());
+    assert!(cov.print.len() > LEGACY_PRINT_FILES.len());
+    assert!(cov.cast.len() > LEGACY_CAST_FILES.len());
+}
+
 #[test]
 fn allowlist_grandfathers_named_findings_only() {
     let root = fixture_tree("allow");
     plant(
         &root,
         "crates/dram/src/channel.rs",
-        "//! Fixture.\n\nfn bad(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        "//! Fixture.\n\nfn hook_channel(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
     );
     let allow = Allowlist::from_json(
         r#"[{"file": "crates/dram/src/channel.rs",
@@ -208,8 +389,28 @@ fn allowlist_grandfathers_named_findings_only() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// Satellite: an allowlist entry matching nothing is itself an error —
+/// exemptions must not outlive their violations.
+#[test]
+fn unused_allowlist_entry_blocks_an_otherwise_clean_tree() {
+    let root = fixture_tree("stale-allow");
+    let allow = Allowlist::from_json(
+        r#"[{"file": "crates/dram/src/channel.rs",
+             "rule": "hot-path-panic",
+             "line_contains": "long_since_fixed()"}]"#,
+    )
+    .expect("valid allowlist");
+    let report = run_lint(&root, &allow);
+    assert_eq!(report.blocking().count(), 0);
+    assert_eq!(report.stale_allowlist.len(), 1);
+    assert!(report.stale_allowlist[0].contains("long_since_fixed"));
+    assert!(!report.ok(), "stale allowlist must fail the run");
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// End-to-end CLI contract: exit 0 + `"ok": true` JSON on a clean tree,
-/// exit 1 + a JSON report naming file/line/rule on a violation.
+/// exit 1 + a JSON report naming file/line/rule on a violation, exit 3
+/// when the only problem is a stale allowlist entry.
 #[test]
 fn cli_exit_codes_and_json_report() {
     let bin = env!("CARGO_BIN_EXE_mempod-audit");
@@ -229,7 +430,7 @@ fn cli_exit_codes_and_json_report() {
     plant(
         &dirty,
         "crates/sim/src/runner.rs",
-        "//! Fixture.\n\nfn boom() {\n    panic!(\"no\");\n}\n",
+        "//! Fixture.\n\npub fn try_run_jobs() {\n    panic!(\"no\");\n}\n",
     );
     let out = Command::new(bin)
         .args(["lint", "--root"])
@@ -242,4 +443,88 @@ fn cli_exit_codes_and_json_report() {
     assert!(stdout.contains("\"line\": 4"), "{stdout}");
     assert!(stdout.contains("hot-path-panic"), "{stdout}");
     std::fs::remove_dir_all(&dirty).ok();
+
+    let stale = fixture_tree("cli-stale");
+    std::fs::write(
+        stale.join("audit.allowlist.json"),
+        r#"[{"file": "crates/dram/src/channel.rs",
+             "rule": "hot-path-panic",
+             "line_contains": "long_since_fixed()"}]"#,
+    )
+    .expect("write allowlist");
+    let out = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(&stale)
+        .output()
+        .expect("run CLI");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stale allowlist alone must exit 3: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&stale).ok();
+}
+
+/// End-to-end `--deny-new` flow: freeze existing debt with
+/// `--write-baseline`, pass under `--deny-new`, then fail once a *new*
+/// finding appears.
+#[test]
+fn cli_baseline_freezes_debt_and_denies_new_findings() {
+    let bin = env!("CARGO_BIN_EXE_mempod-audit");
+    let root = fixture_tree("cli-baseline");
+    plant(
+        &root,
+        "crates/dram/src/channel.rs",
+        "//! Fixture.\n\nfn hook_channel(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+
+    // Without a baseline: blocking.
+    let out = Command::new(bin)
+        .args(["lint", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run CLI");
+    assert_eq!(out.status.code(), Some(1));
+
+    // Freeze the debt.
+    let out = Command::new(bin)
+        .args(["lint", "--write-baseline", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run CLI");
+    assert!(out.status.success(), "--write-baseline must exit 0");
+    assert!(root.join("audit.baseline.json").is_file());
+
+    // Frozen debt passes under --deny-new.
+    let out = Command::new(bin)
+        .args(["lint", "--deny-new", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run CLI");
+    assert!(
+        out.status.success(),
+        "baselined debt must pass --deny-new: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A new finding still fails.
+    plant(
+        &root,
+        "crates/dram/src/system.rs",
+        "//! Fixture.\n\nfn hook_system(y: Option<u32>) -> u32 {\n    y.expect(\"fresh debt\")\n}\n",
+    );
+    let out = Command::new(bin)
+        .args(["lint", "--deny-new", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run CLI");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "new finding must fail --deny-new"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("crates/dram/src/system.rs"), "{stderr}");
+    std::fs::remove_dir_all(&root).ok();
 }

@@ -1,5 +1,6 @@
 //! The [`Migration`] descriptor: one physical swap to execute.
 
+use mempod_types::convert::{u64_from_u32, u64_from_usize};
 use mempod_types::{FrameId, PageId, LINE_SIZE};
 use serde::{Deserialize, Serialize};
 
@@ -69,13 +70,13 @@ impl Migration {
 
     /// Bytes moved by this swap (both directions).
     pub fn bytes_moved(&self) -> u64 {
-        2 * self.line_count as u64 * LINE_SIZE as u64
+        2 * u64_from_u32(self.line_count) * u64_from_usize(LINE_SIZE)
     }
 
     /// Memory requests the swap injects: a read and a write per line per
     /// direction.
     pub fn injected_requests(&self) -> u64 {
-        4 * self.line_count as u64
+        4 * u64_from_u32(self.line_count)
     }
 }
 

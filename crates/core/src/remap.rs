@@ -10,6 +10,7 @@
 //! the central correctness invariant of a migration simulator (a broken
 //! remap silently services requests from the wrong physical location).
 
+use mempod_types::convert::{u32_from_u64, u64_from_usize, usize_from_u32, usize_from_u64};
 use mempod_types::{FrameId, PageId};
 
 /// A bijective page → frame mapping with an O(1) inverse.
@@ -38,8 +39,8 @@ impl RemapTable {
     ///
     /// Panics if `n` exceeds `u32::MAX` (4 G pages = 8 TB of 2 KB pages).
     pub fn identity(n: u64) -> Self {
-        assert!(n <= u32::MAX as u64, "remap table index exceeds u32");
-        let ident: Vec<u32> = (0..n as u32).collect();
+        assert!(n <= u64::from(u32::MAX), "remap table index exceeds u32");
+        let ident: Vec<u32> = (0..u32_from_u64(n)).collect();
         RemapTable {
             to_frame: ident.clone(),
             to_page: ident,
@@ -48,7 +49,7 @@ impl RemapTable {
 
     /// Number of pages (= frames) tracked.
     pub fn len(&self) -> u64 {
-        self.to_frame.len() as u64
+        u64_from_usize(self.to_frame.len())
     }
 
     /// Whether the table is empty.
@@ -62,7 +63,7 @@ impl RemapTable {
     ///
     /// Panics if `page` is out of range.
     pub fn frame_of(&self, page: PageId) -> FrameId {
-        FrameId(self.to_frame[page.0 as usize] as u64)
+        FrameId(u64::from(self.to_frame[usize_from_u64(page.0)]))
     }
 
     /// The page currently held by `frame`.
@@ -71,12 +72,12 @@ impl RemapTable {
     ///
     /// Panics if `frame` is out of range.
     pub fn page_in(&self, frame: FrameId) -> PageId {
-        PageId(self.to_page[frame.0 as usize] as u64)
+        PageId(u64::from(self.to_page[usize_from_u64(frame.0)]))
     }
 
     /// Whether `page` still resides in its original (identity) frame.
     pub fn is_home(&self, page: PageId) -> bool {
-        self.to_frame[page.0 as usize] as u64 == page.0
+        u64::from(self.to_frame[usize_from_u64(page.0)]) == page.0
     }
 
     /// Exchanges the contents of two frames, updating both directions.
@@ -88,12 +89,13 @@ impl RemapTable {
         if a == b {
             return;
         }
-        let pa = self.to_page[a.0 as usize];
-        let pb = self.to_page[b.0 as usize];
-        self.to_page[a.0 as usize] = pb;
-        self.to_page[b.0 as usize] = pa;
-        self.to_frame[pa as usize] = b.0 as u32;
-        self.to_frame[pb as usize] = a.0 as u32;
+        let (ai, bi) = (usize_from_u64(a.0), usize_from_u64(b.0));
+        let pa = self.to_page[ai];
+        let pb = self.to_page[bi];
+        self.to_page[ai] = pb;
+        self.to_page[bi] = pa;
+        self.to_frame[usize_from_u32(pa)] = u32_from_u64(b.0);
+        self.to_frame[usize_from_u32(pb)] = u32_from_u64(a.0);
     }
 
     /// Verifies the permutation invariant (O(n); meant for tests).
@@ -101,14 +103,14 @@ impl RemapTable {
         self.to_frame
             .iter()
             .enumerate()
-            .all(|(p, &f)| self.to_page[f as usize] as usize == p)
+            .all(|(p, &f)| usize_from_u32(self.to_page[usize_from_u32(f)]) == p)
     }
 
     /// Hardware storage in bits for one direction of the table, given
     /// `entries` entries of `ceil(log2(entries))`-bit frame numbers —
     /// Table 1's "1 entry per page" cost.
     pub fn storage_bits(entries: u64) -> u64 {
-        let width = 64 - (entries.max(2) - 1).leading_zeros() as u64;
+        let width = 64 - u64::from((entries.max(2) - 1).leading_zeros());
         entries * width
     }
 }

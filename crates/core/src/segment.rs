@@ -166,10 +166,11 @@ impl SegmentMap {
     pub fn occupant_of(&self, group: GroupId, slot: MemberIdx) -> MemberIdx {
         match self.perms.get(&group) {
             None => slot,
-            Some(p) => p
-                .iter()
-                .position(|&s| s == slot)
-                .expect("permutation is total") as u8,
+            Some(p) => {
+                let pos = p.iter().position(|&s| s == slot);
+                debug_assert!(pos.is_some(), "stored permutation must be total");
+                pos.map_or(slot, |i| i as u8)
+            }
         }
     }
 
@@ -220,10 +221,13 @@ impl SegmentMap {
         if my_slot == 0 {
             return None;
         }
-        let displaced = perm
-            .iter()
-            .position(|&s| s == 0)
-            .expect("some member holds the fast slot") as u8;
+        let Some(displaced) = perm.iter().position(|&s| s == 0) else {
+            // A stored permutation always has a fast-slot occupant; on a
+            // broken invariant, leave the table untouched.
+            debug_assert!(false, "no member holds the fast slot");
+            return None;
+        };
+        let displaced = displaced as u8;
         perm[member as usize] = 0;
         perm[displaced as usize] = my_slot;
         Some((my_slot, displaced))

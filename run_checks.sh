@@ -15,7 +15,9 @@ step() {
 step "cargo fmt --check" cargo fmt --all -- --check
 step "cargo clippy (-D warnings)" \
     cargo clippy --workspace --all-targets --offline -- -D warnings
-step "mempod-audit lint" cargo run -q -p mempod-audit --offline -- lint
+step "mempod-audit lint (--deny-new)" \
+    cargo run -q -p mempod-audit --offline -- lint --deny-new \
+    --report audit.report.json
 step "cargo test (workspace)" cargo test -q --workspace --offline
 step "cargo test (debug-invariants)" \
     cargo test -q --features debug-invariants --offline
