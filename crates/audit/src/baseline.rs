@@ -22,6 +22,9 @@ pub struct BaselineEntry {
     pub rule: String,
     /// The trimmed source line of the finding when it was baselined.
     pub snippet: String,
+    /// Why the finding is frozen rather than fixed (hand-written; the
+    /// determinism rules require one for order-insensitive sites).
+    pub note: Option<String>,
 }
 
 /// The committed set of pre-existing findings.
@@ -55,6 +58,7 @@ impl Baseline {
                 file: field("file")?,
                 rule: field("rule")?,
                 snippet: field("snippet")?,
+                note: item["note"].as_str().map(str::to_string),
             });
         }
         Ok(Baseline { entries })
@@ -68,6 +72,7 @@ impl Baseline {
                 file: v.file.clone(),
                 rule: v.rule.clone(),
                 snippet: v.snippet.trim().to_string(),
+                note: None,
             })
             .collect();
         entries.sort_by(|a, b| (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet)));
@@ -106,6 +111,21 @@ impl Baseline {
         self.entries.is_empty()
     }
 
+    /// Carries the hand-written notes of `old` over to matching entries,
+    /// so `--write-baseline` does not erase them.
+    pub fn adopt_notes(&mut self, old: &Baseline) {
+        for e in &mut self.entries {
+            if e.note.is_some() {
+                continue;
+            }
+            e.note = old
+                .entries
+                .iter()
+                .find(|o| o.file == e.file && o.rule == e.rule && o.snippet == e.snippet)
+                .and_then(|o| o.note.clone());
+        }
+    }
+
     /// Renders the committed JSON form.
     pub fn to_json(&self) -> Value {
         json!({
@@ -113,7 +133,12 @@ impl Baseline {
             "entries": self
                 .entries
                 .iter()
-                .map(|e| json!({"file": e.file, "rule": e.rule, "snippet": e.snippet}))
+                .map(|e| match &e.note {
+                    Some(n) => json!({
+                        "file": e.file, "rule": e.rule, "snippet": e.snippet, "note": n
+                    }),
+                    None => json!({"file": e.file, "rule": e.rule, "snippet": e.snippet}),
+                })
                 .collect::<Vec<_>>(),
         })
     }
@@ -166,6 +191,35 @@ mod tests {
         let stale = b.stale(std::slice::from_ref(&live));
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].snippet, "gone()");
+    }
+
+    #[test]
+    fn notes_round_trip_and_survive_rewrites() {
+        let b = Baseline::from_json(
+            r#"{"version": 1, "entries": [
+                {"file": "a.rs", "rule": "nondet-iter", "snippet": "m.keys()",
+                 "note": "orphan count is order-insensitive"},
+                {"file": "a.rs", "rule": "nondet-iter", "snippet": "m.values()"}]}"#,
+        )
+        .expect("valid baseline");
+        let text = serde_json::to_string(b.to_json()).expect("render");
+        assert!(text.contains("order-insensitive"));
+        let b2 = Baseline::from_json(&text).expect("reparse");
+
+        // A regenerated baseline (no notes) adopts the old notes for
+        // entries that survived.
+        let mut fresh = Baseline::from_violations(
+            [
+                &violation("a.rs", "nondet-iter", "m.keys()"),
+                &violation("a.rs", "nondet-iter", "m.values()"),
+            ]
+            .into_iter(),
+        );
+        fresh.adopt_notes(&b2);
+        let rendered = serde_json::to_string(fresh.to_json()).expect("render");
+        assert!(rendered.contains("order-insensitive"));
+        // The note-less entry stays note-less.
+        assert_eq!(rendered.matches("note").count(), 1);
     }
 
     #[test]

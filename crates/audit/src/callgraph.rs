@@ -140,7 +140,7 @@ impl Model {
     }
 
     /// Whether a function is one of the simulation entry points.
-    fn is_root(&self, file: &ModelFile, item: &Item) -> bool {
+    pub(crate) fn is_root(&self, file: &ModelFile, item: &Item) -> bool {
         if item.qual == "Simulator::run" {
             return true;
         }
@@ -204,7 +204,7 @@ impl Model {
 
     /// Callee names referenced in a function body: every `name(` and
     /// `.name(` sequence (macro invocations `name!(…)` excluded).
-    fn callees(&self, fi: usize, ii: usize) -> Vec<String> {
+    pub(crate) fn callees(&self, fi: usize, ii: usize) -> Vec<String> {
         let file = &self.files[fi];
         let item = &file.parsed.items[ii];
         let Some((from, to)) = item.body_tokens else {

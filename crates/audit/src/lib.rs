@@ -16,9 +16,15 @@
 //!     instead of hand-maintained file lists.
 //!   - [`rules`] — the rule families: hot-path panic/print bans,
 //!     lossy-cast ban, pub-API doc/`Debug` coverage, unit-mismatch,
-//!     unchecked address arithmetic, ignored `Result`s, and the
-//!     `coverage-gap` meta-lint that flags pipeline modules escaping the
-//!     derived coverage.
+//!     unchecked address arithmetic, ignored `Result`s, the determinism
+//!     family (`nondet-iter`/`nondet-float-reduce`/`nondet-clock`/
+//!     `interior-mut`), and the `coverage-gap` meta-lint that flags
+//!     pipeline modules escaping the derived coverage.
+//!   - [`effects`] — field-level effect analysis on the same source
+//!     model: per-function read/write sets over struct fields,
+//!     propagated through the call graph, feeding the shard-safety
+//!     classifier behind `cargo run -p mempod-audit -- effects`
+//!     (`shard_safety.json`).
 //!   - [`baseline`] — `--deny-new` support: a committed baseline of
 //!     frozen debt, with stale-entry reporting so it only shrinks.
 //!   - [`lint`] — the orchestrator tying those together, with a JSON
@@ -33,6 +39,7 @@
 
 pub mod baseline;
 pub mod callgraph;
+pub mod effects;
 pub mod lexer;
 pub mod lint;
 pub mod parser;
@@ -41,5 +48,6 @@ pub mod runtime;
 
 pub use baseline::{Baseline, BaselineEntry};
 pub use callgraph::{derive_coverage, Coverage, Model};
+pub use effects::{analyze, EffectReport, ShardClass};
 pub use lint::{run_lint, Allowlist, LintReport, Violation};
 pub use runtime::InvariantAuditor;

@@ -18,6 +18,11 @@
 //! * `unit-mismatch` — arithmetic mixing ps/ns/cycle-suffixed values.
 //! * `unchecked-addr-arith` — raw address arithmetic outside the helpers.
 //! * `ignored-result` — discarded `Result`/`#[must_use]` values.
+//! * `nondet-iter` / `nondet-float-reduce` — HashMap/HashSet iteration
+//!   (and float reductions over it) on simulation-visible state.
+//! * `nondet-clock` — wall-clock reads on the hot path.
+//! * `interior-mut` — `static mut`/`thread_local!`/cells/locks that hide
+//!   writes from the effect analysis.
 //! * `coverage-gap` — pipeline modules escaping the derived coverage.
 //!
 //! Two grandfathering mechanisms with different lifecycles:
@@ -316,6 +321,9 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> LintReport {
         let rel = file.rel.as_str();
         if coverage.hot.contains(rel) {
             rules::panic::check(rel, &file.parsed, &mut violations);
+            rules::nondet::check(rel, &file.parsed, &mut violations);
+            rules::clock::check(rel, &file.parsed, &mut violations);
+            rules::interior_mut::check(rel, &file.parsed, &mut violations);
         }
         if coverage.print.contains(rel) {
             rules::print::check(rel, &file.parsed, &mut violations);

@@ -453,13 +453,20 @@ impl Parser<'_> {
                 self.i += 1;
                 let Some(name) = self.ident_at(0) else { return };
                 self.i += 1;
-                // Runs to `;` (unit/tuple struct) or a `{…}` body.
+                // Runs to `;` (unit/tuple struct) or a `{…}` body. The body
+                // span is recorded so the effect analysis can read the field
+                // declarations back out of the token stream.
                 let mut end = self.i;
+                let mut body: Option<(usize, usize)> = None;
+                let mut body_tokens: Option<(usize, usize)> = None;
                 while let Some(t) = self.peek(0) {
                     if t.is_punct(self.src, "{") {
-                        let close = self.matching(self.i, "{", "}");
+                        let open = self.i;
+                        let close = self.matching(open, "{", "}");
                         self.i = close + 1;
                         end = close;
+                        body = Some((self.tok_end(open), self.tok_start(close)));
+                        body_tokens = Some((open + 1, close));
                         break;
                     }
                     if t.is_punct(self.src, "(") {
@@ -484,8 +491,8 @@ impl Parser<'_> {
                     name,
                     None,
                     (span_from, self.tok_end(end.min(self.tokens.len() - 1))),
-                    None,
-                    None,
+                    body,
+                    body_tokens,
                 ));
             }
             "use" => {
@@ -932,6 +939,21 @@ mod tests {
             .find(|i| i.qual == "Manager::name")
             .expect("def");
         assert!(def.body.is_some());
+    }
+
+    #[test]
+    fn struct_bodies_are_recorded_for_field_extraction() {
+        let f = parse(
+            "pub struct Engine {\n  owners: HashMap<u64, u8>,\n  total: u64,\n}\n\
+             pub struct Unit;\npub struct Tuple(u8, u16);",
+        );
+        let engine = find(&f, "Engine");
+        let (from, to) = engine.body.expect("brace-bodied struct has a body span");
+        assert!(f.src[from..to].contains("owners"));
+        assert!(f.src[from..to].contains("total"));
+        assert!(engine.body_tokens.is_some());
+        assert!(find(&f, "Unit").body.is_none());
+        assert!(find(&f, "Tuple").body.is_none());
     }
 
     #[test]

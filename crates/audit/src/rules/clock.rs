@@ -1,0 +1,87 @@
+//! `nondet-clock`: wall-clock reads in simulation-visible code.
+//!
+//! `Instant::now()` / `SystemTime::now()` values differ every run, so any
+//! hot-path code keyed off them produces run-dependent results — the
+//! simulated clock ([`Picos`](mempod_types::Picos) arithmetic) is the only
+//! admissible time source on the tick path. Observability-only uses (the
+//! progress board's wall-clock origin) are frozen in the baseline with a
+//! note.
+
+use crate::lexer::TokenKind;
+use crate::lint::Violation;
+use crate::parser::ParsedFile;
+
+/// Wall-clock types whose `now`/`elapsed` reads are nondeterministic.
+const CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+
+/// Runs the rule over one file.
+pub fn check(rel: &str, pf: &ParsedFile, out: &mut Vec<Violation>) {
+    let exempt = pf.exempt_ranges();
+    let src = &pf.src;
+    let toks = &pf.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || pf.is_exempt(&exempt, t.start) {
+            continue;
+        }
+        let text = t.text(src);
+        if !CLOCK_TYPES.contains(&text) {
+            continue;
+        }
+        let called = toks.get(i + 1).is_some_and(|n| n.is_punct(src, "::"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_ident(src, "now") || n.is_ident(src, "elapsed"));
+        if called {
+            out.push(super::violation(
+                rel,
+                pf,
+                t.line,
+                t.start,
+                "nondet-clock",
+                format!(
+                    "`{text}::now()` reads the wall clock, which differs every run; \
+                     simulation-visible time must come from the simulated clock \
+                     (Picos). Observability-only uses may be frozen in the baseline \
+                     with a note"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("f.rs", &pf, &mut v);
+        v
+    }
+
+    #[test]
+    fn flags_instant_and_systemtime_now() {
+        let v = run(
+            "fn f() { let t0 = std::time::Instant::now(); let _ = t0; }\n\
+             fn g() { let s = SystemTime::now(); let _ = s; }\n",
+        );
+        let rules: Vec<&str> = v.iter().map(|v| v.rule.as_str()).collect();
+        assert_eq!(rules, ["nondet-clock", "nondet-clock"], "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn type_mentions_without_clock_reads_pass() {
+        let v = run("fn f(origin: Instant) -> Instant { origin }\nstruct S { t: Instant }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let v = run("#[cfg(test)]\nmod tests {\n  fn t() { let _ = Instant::now(); }\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -13,14 +13,25 @@
 //! * [`addr_arith`] — unchecked arithmetic on raw address integers.
 //! * [`ignored_result`] — discarded `Result`/`#[must_use]` values.
 //!
+//! Determinism rules (scoped to the derived hot-path files, feeding the
+//! shard-safety work of ROADMAP item 1):
+//! * [`nondet`] — `nondet-iter`/`nondet-float-reduce`: HashMap/HashSet
+//!   iteration (and float reductions over it) on simulation-visible state.
+//! * [`clock`] — `nondet-clock`: wall-clock reads on the hot path.
+//! * [`interior_mut`] — `interior-mut`: `static mut`, `thread_local!`,
+//!   cells and locks that hide writes from the effect analysis.
+//!
 //! Meta-lint:
 //! * [`coverage`] — pipeline modules that escape the derived coverage.
 
 pub mod addr_arith;
 pub mod api;
 pub mod cast;
+pub mod clock;
 pub mod coverage;
 pub mod ignored_result;
+pub mod interior_mut;
+pub mod nondet;
 pub mod panic;
 pub mod print;
 pub mod units;

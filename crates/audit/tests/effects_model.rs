@@ -1,0 +1,214 @@
+//! Integration tests for the field-level effect analysis: fixture trees
+//! with known read/write sets classify as expected, the committed
+//! `shard_safety.json` snapshot matches what the analysis computes for
+//! the real workspace (so class regressions are caught at test time, not
+//! just in CI), and a property test pins the transitive-summary
+//! invariant: every function's summary is a superset of its direct
+//! effects, and calling a writer inherits the write.
+
+use std::path::{Path, PathBuf};
+
+use mempod_audit::effects::{analyze, ShardClass};
+use mempod_audit::Model;
+use proptest::prelude::*;
+
+/// Builds a workspace-shaped fixture tree under a unique temp dir.
+fn fixture_tree(tag: &str, files: &[(&str, String)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("mempod-effects-it-{tag}-{}", std::process::id()));
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("stale fixture removed");
+    }
+    for (rel, content) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+        std::fs::write(&path, content).expect("write fixture");
+    }
+    root
+}
+
+/// A one-crate sim workspace whose `simulator.rs` is the given source.
+fn sim_workspace(simulator: &str) -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "crates/sim/Cargo.toml",
+            "[package]\nname = \"mempod-sim\"\n".to_string(),
+        ),
+        (
+            "crates/sim/src/lib.rs",
+            "//! Fixture crate.\npub mod simulator;\n".to_string(),
+        ),
+        ("crates/sim/src/simulator.rs", simulator.to_string()),
+    ]
+}
+
+/// Known read/write sets over a miniature simulator: tick-written
+/// singleton state is cross-shard, per-channel state behind `Vec<Channel>`
+/// is shard-local, epoch-only state is epoch-barrier-only, and a shared
+/// handle is cross-shard no matter who writes it.
+#[test]
+fn fixture_classifications_match_known_effects() {
+    let src = "\
+//! Fixture module.
+pub struct Channel { queue: Vec<u64>, now: u64 }
+impl Channel {
+    pub fn enqueue(&mut self) { self.queue.push(1); }
+    pub fn tick(&mut self) { self.now += 1; }
+}
+pub struct Mem { channels: Vec<Channel> }
+pub struct Simulator {
+    mem: Mem,
+    total_stall: u64,
+    epoch_len: u64,
+    prev_requests: u64,
+    progress: Option<Arc<AtomicU64>>,
+}
+impl Simulator {
+    pub fn run(&mut self) {
+        self.total_stall += 1;
+        let _ = self.epoch_len;
+        self.observe();
+    }
+    fn observe(&mut self) { self.prev_requests += 1; }
+}
+";
+    let root = fixture_tree("classes", &sim_workspace(src));
+    let model = Model::build(&root).expect("model");
+    let report = analyze(&model);
+    std::fs::remove_dir_all(&root).ok();
+
+    let classes = report.classes();
+    let get = |t: &str, f: &str| classes[&(t.to_string(), f.to_string())];
+    // Tick-written singleton state couples shards.
+    assert_eq!(get("Simulator", "total_stall"), ShardClass::CrossShard);
+    // Read-only config never couples anything.
+    assert_eq!(get("Simulator", "epoch_len"), ShardClass::ShardLocal);
+    // Written only behind the epoch barrier (`observe`).
+    assert_eq!(
+        get("Simulator", "prev_requests"),
+        ShardClass::EpochBarrierOnly
+    );
+    // Shared handles are cross-shard by construction.
+    assert_eq!(get("Simulator", "progress"), ShardClass::CrossShard);
+    // Channel lives in Vec<Channel>: replicated, so tick writes stay local.
+    assert!(report.replicated.contains("Channel"));
+    assert_eq!(get("Channel", "queue"), ShardClass::ShardLocal);
+    assert_eq!(get("Channel", "now"), ShardClass::ShardLocal);
+}
+
+/// Acceptance: the committed `shard_safety.json` matches what the
+/// analysis computes for the real workspace, field for field. If this
+/// fails, regenerate the snapshot with
+/// `cargo run -p mempod-audit -- effects` and review the class diffs —
+/// a field moving towards `cross-shard` is new shard coupling.
+#[test]
+fn committed_snapshot_matches_real_workspace() {
+    let real_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let snapshot_path = real_root.join("shard_safety.json");
+    let text = std::fs::read_to_string(&snapshot_path)
+        .expect("shard_safety.json is committed at the workspace root");
+    let snapshot: serde_json::Value = serde_json::from_str(&text).expect("snapshot parses");
+
+    let model = Model::build(&real_root).expect("real workspace model");
+    let report = analyze(&model);
+    let computed = report.classes();
+
+    // Every snapshot field matches the computed class, and vice versa.
+    let mut snap_fields = std::collections::BTreeMap::new();
+    for t in snapshot["types"].as_array().expect("types array") {
+        let tname = t["name"].as_str().expect("type name").to_string();
+        for f in t["fields"].as_array().expect("fields array") {
+            let fname = f["name"].as_str().expect("field name").to_string();
+            let class = f["class"].as_str().expect("field class").to_string();
+            snap_fields.insert((tname.clone(), fname), class);
+        }
+    }
+    let computed: std::collections::BTreeMap<_, _> = computed
+        .into_iter()
+        .map(|(k, v)| (k, v.as_str().to_string()))
+        .collect();
+    assert_eq!(
+        computed, snap_fields,
+        "shard_safety.json is stale; regenerate with \
+         `cargo run -p mempod-audit -- effects` and review the diff"
+    );
+}
+
+/// Generates a call chain `f0 -> f1 -> … -> f{n-1}` where `salt` decides
+/// which links exist; every `fi` writes its own field `wi`.
+fn chain_source(n: usize, salt: u64) -> String {
+    let mut fields = String::new();
+    for i in 0..n {
+        fields.push_str(&format!("w{i}: u64, "));
+    }
+    let mut fns = String::new();
+    for i in 0..n {
+        let call = if i + 1 < n && (salt >> i) & 1 == 1 {
+            format!("self.f{}();", i + 1)
+        } else {
+            String::new()
+        };
+        fns.push_str(&format!(
+            "    pub fn f{i}(&mut self) {{ self.w{i} += 1; {call} }}\n"
+        ));
+    }
+    format!(
+        "//! Fixture module.\npub struct Simulator {{ {fields} }}\n\
+         impl Simulator {{\n    pub fn run(&mut self) {{ self.f0(); }}\n{fns}}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any chain shape, every function's transitive summary is a
+    /// superset of its direct effects, and each link in the chain
+    /// propagates the callee's write into the caller's summary.
+    #[test]
+    fn transitive_summaries_are_supersets_of_direct_effects(
+        n in 2usize..6,
+        salt in 0u64..32,
+    ) {
+        let src = chain_source(n, salt);
+        let root = fixture_tree(&format!("prop-{n}-{salt}"), &sim_workspace(&src));
+        let model = Model::build(&root).expect("model");
+        let report = analyze(&model);
+        std::fs::remove_dir_all(&root).ok();
+
+        for (id, direct) in &report.direct {
+            let sum = report.summary.get(id).expect("summary for every fn");
+            prop_assert!(
+                direct.writes.is_subset(&sum.writes),
+                "summary lost a direct write: {direct:?} vs {sum:?}"
+            );
+            prop_assert!(
+                direct.reads.is_subset(&sum.reads),
+                "summary lost a direct read: {direct:?} vs {sum:?}"
+            );
+        }
+        // Each chain link salt enables must carry the callee's write into
+        // the caller's summary: find fi's summary through its unique
+        // direct write wi.
+        let key = |i: usize| ("Simulator".to_string(), format!("w{i}"));
+        for i in 0..n - 1 {
+            if (salt >> i) & 1 == 0 {
+                continue;
+            }
+            let caller = report
+                .direct
+                .iter()
+                .find(|(_, e)| e.writes.contains(&key(i)))
+                .map(|(id, _)| id)
+                .expect("fi writes wi directly");
+            prop_assert!(
+                report.summary[caller].writes.contains(&key(i + 1)),
+                "f{i} calls f{} but its summary lacks w{}",
+                i + 1,
+                i + 1
+            );
+        }
+    }
+}

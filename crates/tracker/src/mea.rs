@@ -21,7 +21,7 @@
 //! the prose and admit entries while `len < K`, which subsumes the Karp
 //! variant at `K+1`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mempod_types::PageId;
 use serde::{Deserialize, Serialize};
@@ -59,7 +59,10 @@ pub struct MeaOpStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MeaTracker {
-    entries: HashMap<PageId, u64>,
+    // BTreeMap, not HashMap: the decrement sweep and `hot_pages` iterate
+    // this map, and simulation-visible iteration must be deterministic
+    // (page-id order). K ≤ 64 entries, so tree overhead is immaterial.
+    entries: BTreeMap<PageId, u64>,
     k: usize,
     counter_max: u64,
     counter_bits: u32,
@@ -85,7 +88,7 @@ impl MeaTracker {
             (1u64 << counter_bits) - 1
         };
         MeaTracker {
-            entries: HashMap::with_capacity(k),
+            entries: BTreeMap::new(),
             k,
             counter_max,
             counter_bits,
@@ -175,6 +178,8 @@ impl ActivityTracker for MeaTracker {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
 
     /// Brute-force re-implementation of Algorithm 1 used as a semantics

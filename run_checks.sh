@@ -18,6 +18,11 @@ step "cargo clippy (-D warnings)" \
 step "mempod-audit lint (--deny-new)" \
     cargo run -q -p mempod-audit --offline -- lint --deny-new \
     --report audit.report.json
+# Rewrites shard_safety.json in place and fails if any field regressed
+# towards cross-shard relative to the committed snapshot.
+step "mempod-audit effects (--check)" \
+    cargo run -q -p mempod-audit --offline -- effects \
+    --check shard_safety.json
 step "cargo test (workspace)" cargo test -q --workspace --offline
 step "cargo test (debug-invariants)" \
     cargo test -q --features debug-invariants --offline
