@@ -53,13 +53,16 @@ use crate::parser::{Item, ItemKind, ParsedFile};
 /// Functions that run at epoch boundaries, not on the per-access tick
 /// path: the manager epoch hooks (`run_epoch` in MemPod, `run_interval`
 /// in HMA), the telemetry epoch driver (`observe`/`finalize`/
-/// `snapshot_at`), and the boundary-only reporting hooks.
+/// `snapshot_at`) and the merged engine snapshot it consumes
+/// (`engine_view`, built only at barriers), and the boundary-only
+/// reporting hooks.
 pub const EPOCH_BARRIER_FNS: &[&str] = &[
     "run_epoch",
     "run_interval",
     "observe",
     "finalize",
     "snapshot_at",
+    "engine_view",
     "audit_invariants",
     "telemetry_counters",
 ];

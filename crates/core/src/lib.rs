@@ -53,7 +53,7 @@ pub use manager::{
 };
 pub use mempod::MemPodManager;
 pub use meta_cache::{MetaCache, MetaCacheStats};
-pub use migration::Migration;
+pub use migration::{Migration, PAGE_SWAP_LINES};
 pub use remap::RemapTable;
 pub use segment::{SegmentLayout, SegmentMap};
 pub use statics::StaticManager;

@@ -256,6 +256,24 @@ pub trait MemoryManager {
         let _ = auditor;
     }
 
+    /// How many independent *migration domains* this manager's decisions
+    /// respect. A sharded simulator may partition pages/frames into `d`
+    /// residue classes (`index % d`) only when every migration, remap, and
+    /// metadata fetch this manager triggers stays inside one class:
+    ///
+    /// - MemPod swaps strictly within pods and its remap is pod-preserving
+    ///   (audited under `debug-invariants`), so it reports the pod count;
+    /// - the static baselines never migrate or meta-miss and report
+    ///   [`u32::MAX`], meaning "unconstrained — any partition is safe";
+    /// - the conservative default of 1 suits managers whose swaps cross
+    ///   the whole address space (HMA, THM, CAMEO).
+    ///
+    /// The answer must be constant for the manager's lifetime; the sharded
+    /// event loop reads it once at setup to size its shard plan.
+    fn migration_domains(&self) -> u32 {
+        1
+    }
+
     /// Appends this manager's *cumulative* telemetry counters as
     /// `(name, value)` pairs (e.g. MEA eviction totals, interval counts).
     /// The epoch snapshot driver polls this at epoch boundaries and diffs
@@ -318,6 +336,22 @@ mod tests {
         for kind in ManagerKind::all() {
             let m = build_manager(kind, &cfg);
             assert_eq!(m.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn migration_domains_follow_the_clustering_structure() {
+        let cfg = ManagerConfig::tiny();
+        for kind in ManagerKind::all() {
+            let m = build_manager(kind, &cfg);
+            let domains = m.migration_domains();
+            match kind {
+                ManagerKind::MemPod => assert_eq!(domains, cfg.geometry.pods()),
+                ManagerKind::Hma | ManagerKind::Thm | ManagerKind::Cameo => {
+                    assert_eq!(domains, 1, "{kind} swaps cross the whole space")
+                }
+                _ => assert_eq!(domains, u32::MAX, "{kind} is unconstrained"),
+            }
         }
     }
 

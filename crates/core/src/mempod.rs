@@ -237,6 +237,13 @@ impl MemoryManager for MemPodManager {
         self.remap.frame_of(page)
     }
 
+    /// Pods are independent migration domains (the paper's core structural
+    /// claim): swaps are intra-pod and the remap is pod-preserving, both
+    /// audited under `debug-invariants`.
+    fn migration_domains(&self) -> u32 {
+        self.geo.pods()
+    }
+
     /// MemPod's structural invariants: the remap table stays a bijection
     /// with a consistent inverse, fast frames only ever hold pages of
     /// their own pod (migration is intra-pod by construction), and the

@@ -1,8 +1,19 @@
 //! The [`Migration`] descriptor: one physical swap to execute.
 
-use mempod_types::convert::{u64_from_u32, u64_from_usize};
-use mempod_types::{FrameId, PageId, LINE_SIZE};
+use mempod_types::convert::{self, u64_from_u32, u64_from_usize};
+use mempod_types::{FrameId, PageId, LINES_PER_PAGE, LINE_SIZE};
 use serde::{Deserialize, Serialize};
+
+/// Lines exchanged per direction by a full-page swap.
+///
+/// This is the single authority for the page/line granularity split:
+/// [`Migration::page_swap`] constructs with it and
+/// [`Migration::is_page_swap`] tests against it, so consumers (like the
+/// simulator's migration-lane routing) cannot drift from the constructor
+/// when the geometry changes.
+pub const PAGE_SWAP_LINES: u32 = 32;
+// One page swap must move exactly one geometry page.
+const _: () = assert!(convert::usize_from_u32(PAGE_SWAP_LINES) == LINES_PER_PAGE);
 
 /// One swap between two physical frames, at page or line granularity.
 ///
@@ -42,7 +53,7 @@ impl Migration {
             frame_a,
             frame_b,
             line_start: 0,
-            line_count: 32,
+            line_count: PAGE_SWAP_LINES,
             page_a,
             page_b,
             pod,
@@ -68,6 +79,13 @@ impl Migration {
         }
     }
 
+    /// Whether this swap moves a whole page (as opposed to CAMEO's
+    /// single-line swaps). Page swaps serialize through their pod's
+    /// migration lane; line swaps start immediately.
+    pub fn is_page_swap(&self) -> bool {
+        self.line_count >= PAGE_SWAP_LINES
+    }
+
     /// Bytes moved by this swap (both directions).
     pub fn bytes_moved(&self) -> u64 {
         2 * u64_from_u32(self.line_count) * u64_from_usize(LINE_SIZE)
@@ -89,7 +107,8 @@ mod tests {
         let m = Migration::page_swap(FrameId(1), FrameId(2), PageId(10), PageId(20), Some(0));
         assert_eq!(m.bytes_moved(), 4096); // 2 x 2 KB
         assert_eq!(m.injected_requests(), 128); // paper §6.2
-        assert_eq!(m.line_count, 32);
+        assert_eq!(m.line_count, PAGE_SWAP_LINES);
+        assert!(m.is_page_swap());
     }
 
     #[test]
@@ -99,5 +118,6 @@ mod tests {
         assert_eq!(m.injected_requests(), 4);
         assert_eq!(m.line_start, 7);
         assert_eq!(m.pod, None);
+        assert!(!m.is_page_swap());
     }
 }

@@ -66,6 +66,12 @@ impl MemoryManager for StaticManager {
     fn frame_of_page(&self, page: PageId) -> FrameId {
         FrameId(page.0)
     }
+
+    /// Static placement never migrates, remaps, or meta-misses, so any
+    /// shard partition is safe.
+    fn migration_domains(&self) -> u32 {
+        u32::MAX
+    }
 }
 
 #[cfg(test)]

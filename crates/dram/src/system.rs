@@ -5,6 +5,7 @@
 //! location, routes to the owning channel, and later reports completions.
 //! A fixed controller/interconnect latency is added to every access.
 
+use mempod_types::convert::{u32_from_u64, u64_from_usize, usize_from_u32};
 use mempod_types::{AccessKind, FrameId, Picos, Tier, LINE_SIZE, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +142,15 @@ impl SystemStats {
         t
     }
 
+    /// Folds another system's per-tier statistics into this one (used to
+    /// recombine the views of a sharded system; see
+    /// [`MemorySystem::into_shards`]). Counter fields add; high-water
+    /// fields take the maximum.
+    pub fn merge(&mut self, other: &SystemStats) {
+        self.fast.merge(&other.fast);
+        self.slow.merge(&other.slow);
+    }
+
     /// Fraction of requests serviced by the fast tier.
     pub fn fast_service_fraction(&self) -> f64 {
         let total = self.total().requests();
@@ -168,12 +178,20 @@ impl SystemStats {
 /// let t = |tok| done.iter().find(|c| c.token == tok).unwrap().completion;
 /// assert!(t(slow) > t(fast)); // DDR4 is slower than HBM
 /// ```
+/// A sharded view ([`MemorySystem::into_shards`]) owns the global channels
+/// whose index is congruent to its shard id modulo the shard count, stored
+/// in ascending global order, so every per-channel decision a shard makes
+/// is exactly the decision the unsharded system would have made.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     layout: MemLayout,
     mapper: AddressMapper,
     channels: Vec<Channel>,
     next_token: u64,
+    /// Number of shards the original system was split into (1 = unsharded).
+    shard_count: u32,
+    /// This view's residue class among the channels (0 when unsharded).
+    shard_id: u32,
 }
 
 impl MemorySystem {
@@ -206,7 +224,60 @@ impl MemorySystem {
             mapper,
             channels,
             next_token: 0,
+            shard_count: 1,
+            shard_id: 0,
         }
+    }
+
+    /// Splits this system into `count` shard views, each owning the global
+    /// channels whose index is `shard_id (mod count)` in ascending order.
+    /// Channel state (including any attached probes) moves, so the shards
+    /// together are exactly the original system; tokens restart per shard
+    /// and are only meaningful within the shard that issued them.
+    ///
+    /// The caller is responsible for only submitting a frame to the shard
+    /// that owns its channel — [`submit_with_priority`] checks ownership
+    /// under `debug_assertions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero, exceeds the channel count, or the system
+    /// is already sharded.
+    ///
+    /// [`submit_with_priority`]: MemorySystem::submit_with_priority
+    pub fn into_shards(self, count: u32) -> Vec<MemorySystem> {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert_eq!(self.shard_count, 1, "system is already sharded");
+        let total = self.layout.fast_channels + self.layout.slow_channels;
+        assert!(
+            count <= total,
+            "cannot split {total} channels into {count} shards"
+        );
+        let mut shards: Vec<MemorySystem> = (0..count)
+            .map(|id| MemorySystem {
+                layout: self.layout,
+                mapper: self.mapper,
+                channels: Vec::new(),
+                next_token: 0,
+                shard_count: count,
+                shard_id: id,
+            })
+            .collect();
+        for (i, ch) in self.channels.into_iter().enumerate() {
+            let global = u32_from_u64(u64_from_usize(i));
+            shards[usize_from_u32(global % count)].channels.push(ch);
+        }
+        shards
+    }
+
+    /// How many shards the original system was split into (1 = unsharded).
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// This view's shard id (0 when unsharded).
+    pub fn shard_id(&self) -> u32 {
+        self.shard_id
     }
 
     /// The layout this system was built from.
@@ -259,9 +330,19 @@ impl MemorySystem {
             "frame {frame} out of range"
         );
         let loc = self.mapper.decode(frame, line_in_page);
+        debug_assert_eq!(
+            loc.channel % self.shard_count,
+            self.shard_id,
+            "frame {frame} routed to channel {} owned by another shard",
+            loc.channel
+        );
         let token = ReqToken(self.next_token);
         self.next_token += 1;
-        self.channels[loc.channel as usize].enqueue_with_priority(
+        // Local index of a global channel within this residue class: the
+        // owned channels are shard_id, shard_id + count, shard_id + 2*count,
+        // ... in order, so integer division by the count recovers the slot.
+        let local = usize_from_u32(loc.channel / self.shard_count);
+        self.channels[local].enqueue_with_priority(
             token,
             loc.bank,
             loc.row,
@@ -307,11 +388,14 @@ impl MemorySystem {
         self.channels.iter().map(Channel::pending).collect()
     }
 
-    /// Statistics split by tier.
+    /// Statistics split by tier. On a shard view the split is computed
+    /// from each channel's *global* index, so merging shard stats with
+    /// [`SystemStats::merge`] reproduces the unsharded breakdown.
     pub fn stats(&self) -> SystemStats {
         let mut s = SystemStats::default();
         for (i, ch) in self.channels.iter().enumerate() {
-            if (i as u32) < self.layout.fast_channels {
+            let global = self.shard_id + u32_from_u64(u64_from_usize(i)) * self.shard_count;
+            if global < self.layout.fast_channels {
                 s.fast.merge(ch.stats());
             } else {
                 s.slow.merge(ch.stats());
@@ -512,6 +596,69 @@ mod tests {
             AccessKind::Read,
             Picos::ZERO,
         );
+    }
+
+    #[test]
+    fn sharded_views_reproduce_the_unsharded_system() {
+        let layout = MemLayout::tiny();
+        let mut whole = MemorySystem::new(layout);
+        let route = *whole.mapper();
+        let n = 4u32;
+        let mut shards = MemorySystem::new(layout).into_shards(n);
+        assert_eq!(shards.len(), 4);
+        for (id, s) in shards.iter().enumerate() {
+            assert_eq!(s.shard_count(), 4);
+            assert_eq!(s.shard_id() as usize, id);
+            assert_eq!(s.queue_depths().len(), 3); // 12 channels / 4 shards
+        }
+        // A deterministic burst across both tiers and all channels, with a
+        // partial drain in the middle to exercise interleaved horizons.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut submitted = 0usize;
+        for k in 0..400u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let frame = FrameId(x % layout.total_frames());
+            let line = u32_from_u64((x >> 32) % 32);
+            let at = Picos::from_ns(k * 3);
+            whole.submit(frame, line, AccessKind::Read, at);
+            let ch = route.decode(frame, line).channel;
+            shards[(ch % n) as usize].submit(frame, line, AccessKind::Read, at);
+            submitted += 1;
+        }
+        let horizon = Picos::from_ns(600);
+        let mut whole_done = whole.drain_until(horizon);
+        whole_done.extend(whole.drain_all());
+        let mut shard_done = Vec::new();
+        for s in &mut shards {
+            shard_done.extend(s.drain_until(horizon));
+        }
+        for s in &mut shards {
+            shard_done.extend(s.drain_all());
+        }
+        assert_eq!(whole_done.len(), submitted);
+        // Tokens restart per shard, so compare the completion-time
+        // multiset, which pins every scheduling decision.
+        let mut a: Vec<Picos> = whole_done.iter().map(|c| c.completion).collect();
+        let mut b: Vec<Picos> = shard_done.iter().map(|c| c.completion).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Merged shard stats reproduce the unsharded tier breakdown.
+        let mut merged = SystemStats::default();
+        for s in &shards {
+            merged.merge(&s.stats());
+        }
+        assert_eq!(merged, whole.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "already sharded")]
+    fn resharding_a_shard_panics() {
+        let shards = MemorySystem::new(MemLayout::tiny()).into_shards(2);
+        let first = shards.into_iter().next().expect("two shards");
+        let _ = first.into_shards(2);
     }
 
     #[test]

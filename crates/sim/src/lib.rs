@@ -37,6 +37,7 @@
 pub mod config;
 pub mod metrics;
 pub mod runner;
+mod shard;
 pub mod simulator;
 
 pub use config::{SimConfig, SimError};

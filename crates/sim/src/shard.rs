@@ -1,0 +1,564 @@
+//! Per-pod shard state for the sharded event loop.
+//!
+//! A [`Shard`] owns one residue class of the machine: the channels whose
+//! global index is `shard_id (mod shard_count)` (via
+//! [`MemorySystem::into_shards`]) and every piece of engine state keyed by
+//! a frame or page of that class — outstanding token owners, in-flight
+//! migration state machines, blocked-page tracking, and migration lanes.
+//! Because a shard count is only ever chosen so that frames, pages, pods,
+//! and channels of one residue class never interact with another's (see
+//! `Simulator::effective_shards`), shards can tick through the same global
+//! arrival grid independently and reproduce the sequential engine's
+//! decisions *bit for bit*: each per-channel decision depends only on that
+//! channel's queue, and every submission a shard makes lands on a channel
+//! it owns.
+//!
+//! The same `Shard` type drives the sequential path (one shard over the
+//! unsharded system), so there is exactly one copy of the migration/
+//! blocking/metadata state machine to keep correct.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use mempod_core::Migration;
+use mempod_dram::{Completion, MemorySystem, Priority, ReqToken};
+use mempod_telemetry::EventKind;
+use mempod_types::convert::usize_from_u32;
+use mempod_types::{AccessKind, FrameId, PageId, Picos};
+
+/// Initial `blocked`-map size that triggers a prune sweep.
+const PRUNE_WATERMARK_MIN: usize = 8192;
+
+/// A foreground access waiting to be issued (possibly via a metadata
+/// fetch).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    /// Original arrival: the AMMAT accounting base.
+    pub(crate) arrival: Picos,
+    /// Earliest issue time accumulated so far (stall, blocking, fetch).
+    pub(crate) issue: Picos,
+    pub(crate) frame: FrameId,
+    pub(crate) line: u32,
+    pub(crate) kind: AccessKind,
+    /// Whether a metadata fetch must complete before the access issues.
+    pub(crate) needs_meta: bool,
+    /// Page used to spread metadata-fetch addresses.
+    pub(crate) page: PageId,
+}
+
+/// Who a completed token belongs to.
+#[derive(Debug, Clone, Copy)]
+enum TokenOwner {
+    Foreground { arrival: Picos },
+    MigrationRead { mig: usize },
+    MigrationWrite { mig: usize },
+    MetaFetch { waiter: Waiter },
+}
+
+/// One in-flight migration's execution state.
+#[derive(Debug)]
+pub(crate) struct MigExec {
+    m: Migration,
+    pending: usize,
+    latest: Picos,
+    started: bool,
+    reads_done: bool,
+    pub(crate) done: bool,
+    finish: Picos,
+    /// When the read phase launched (for the completion event's latency).
+    t_start: Picos,
+    pub(crate) waiters: Vec<Waiter>,
+}
+
+/// Lane key for serializing page swaps: pods migrate their pages one at a
+/// time (the pod's migration driver is a single engine), and HMA's OS lane
+/// is likewise serial. CAMEO's single-line swaps are not laned — they are
+/// driven by the MCs themselves on each access.
+fn lane_of(m: &Migration) -> Option<i64> {
+    if !m.is_page_swap() {
+        None // line swap: event-driven, unserialised
+    } else {
+        Some(m.pod.map_or(-1, i64::from))
+    }
+}
+
+/// Why a page cannot be accessed right now.
+#[derive(Debug, Clone, Copy)]
+enum PageState {
+    /// Swap in flight; index into the migration list.
+    Migrating(usize),
+    /// Swap finished at this time; accesses before it must wait.
+    BlockedUntil(Picos),
+}
+
+/// One unit of admission-phase work routed to a shard, applied at a tick
+/// of the global arrival grid.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WorkItem {
+    /// Register a migration the manager committed at this tick.
+    Migrate(Migration),
+    /// Admit a foreground access (after the manager translated it).
+    Admit { page: PageId, w: Waiter },
+}
+
+/// All shards of one run, in residue-class order: `shards[s]` owns the
+/// channels, frames, and pages whose index is `≡ s` modulo the set's
+/// length. The per-shard engine state is replicated here — nothing in a
+/// [`Shard`] is reachable from any other.
+#[derive(Debug)]
+pub(crate) struct ShardSet {
+    pub(crate) shards: Vec<Shard>,
+}
+
+/// One residue class of the engine: its memory-system view plus all state
+/// keyed by its frames and pages.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// Memory channels of this residue class ([`MemorySystem::shard_id`]).
+    pub(crate) mem: MemorySystem,
+    /// Pod count, for the pod-local metadata backing-store hash.
+    pods: u32,
+    /// Outstanding token ownership. Deliberately a `HashMap`: it is keyed
+    /// by opaque per-shard tokens, touched on every completion, and never
+    /// iterated (only insert/remove/is-empty), so ordering cannot leak.
+    owners: HashMap<ReqToken, TokenOwner>,
+    pub(crate) migs: Vec<MigExec>,
+    /// Blocked pages. A `BTreeMap` so the prune sweep below iterates in a
+    /// deterministic order (same reasoning as PR 6's `MeaTracker` switch).
+    blocked: BTreeMap<PageId, PageState>,
+    /// Per-lane FIFO of migration indices; front = currently running.
+    /// `BTreeMap` for deterministic ordering under any future iteration.
+    lanes: BTreeMap<i64, VecDeque<usize>>,
+    pub(crate) total_stall: Picos,
+    pub(crate) injected_migration: u64,
+    pub(crate) injected_meta: u64,
+    /// Prune trigger for the blocked map (adapts upward under load).
+    prune_watermark: usize,
+    /// Whether events are worth buffering (telemetry enabled and the sink
+    /// keeps lines).
+    events_wanted: bool,
+    /// Buffered `(t_ps, kind)` events since the last barrier flush, in
+    /// emission order. The main thread merges buffers across shards in
+    /// timestamp-then-shard-id order (`Telemetry::emit_merged`).
+    pub(crate) events: Vec<(u64, EventKind)>,
+}
+
+impl Shard {
+    /// Wraps one memory-system view as a shard.
+    pub(crate) fn new(mem: MemorySystem, pods: u32, events_wanted: bool) -> Self {
+        Shard {
+            mem,
+            pods,
+            owners: HashMap::new(),
+            migs: Vec::new(),
+            blocked: BTreeMap::new(),
+            lanes: BTreeMap::new(),
+            total_stall: Picos::ZERO,
+            injected_migration: 0,
+            injected_meta: 0,
+            prune_watermark: PRUNE_WATERMARK_MIN,
+            events_wanted,
+            events: Vec::new(),
+        }
+    }
+
+    fn event(&mut self, t: Picos, kind: EventKind) {
+        if self.events_wanted {
+            self.events.push((t.as_ps(), kind));
+        }
+    }
+
+    /// Whether every submitted request has completed (end-of-run check).
+    pub(crate) fn owners_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Ticks this shard through a batch of the global arrival grid: for
+    /// every tick, service completions up to that arrival, then apply the
+    /// admission work routed here for the tick.
+    ///
+    /// Every shard pumps at *every* global arrival — not just the ticks it
+    /// received work for — because an enqueue at an intermediate horizon
+    /// changes which requests compete in a channel's later scheduling
+    /// decisions. Pumping an unchanged shard to the same horizon again is
+    /// a no-op (an empty drain does not advance channel state), which is
+    /// what makes the shared grid safe and the result independent of the
+    /// batch boundaries.
+    pub(crate) fn run_ticks(&mut self, arrivals: &[Picos], work: &[(u32, WorkItem)]) {
+        let mut next = 0usize;
+        for (tick, &horizon) in arrivals.iter().enumerate() {
+            self.pump(horizon);
+            while let Some(&(t, item)) = work.get(next) {
+                if usize_from_u32(t) != tick {
+                    break;
+                }
+                match item {
+                    WorkItem::Migrate(m) => self.enqueue_migration(m, horizon),
+                    WorkItem::Admit { page, w } => self.admit(page, w),
+                }
+                next += 1;
+            }
+            self.maybe_prune(horizon);
+        }
+        debug_assert_eq!(next, work.len(), "work items beyond the arrival grid");
+    }
+
+    /// Drains up to `horizon` repeatedly until no more completions appear
+    /// (completions may submit follow-up work that itself completes within
+    /// the horizon).
+    ///
+    /// Completion-driven submissions (migration write phases, woken parked
+    /// accesses) may arrive inside the already-drained slice; the channels
+    /// clamp such requests to their local `now`, so re-draining to the same
+    /// horizon services them without rewriting granted bus slots. The
+    /// channels' indexed scheduler state built up this way is checked by
+    /// `MemorySystem::audit_invariants` at sampled epoch boundaries and at
+    /// end of run.
+    pub(crate) fn pump(&mut self, horizon: Picos) {
+        loop {
+            let done = self.mem.drain_until(horizon);
+            if done.is_empty() {
+                break;
+            }
+            for c in done {
+                self.handle_completion(c);
+            }
+        }
+    }
+
+    /// Prunes settled entries from the blocked map once it grows past the
+    /// adaptive watermark. Removal is semantically neutral: a `Migrating`
+    /// entry whose swap is done has already been rewritten to
+    /// `BlockedUntil`, and a `BlockedUntil(t <= now)` entry no longer
+    /// delays anything (future admissions issue at or after `now`), so the
+    /// shard's observable behavior does not depend on when this runs.
+    pub(crate) fn maybe_prune(&mut self, now: Picos) {
+        if self.blocked.len() >= self.prune_watermark {
+            let migs = &self.migs;
+            self.blocked.retain(|_, s| match s {
+                PageState::Migrating(idx) => !migs[*idx].done,
+                PageState::BlockedUntil(t) => *t > now,
+            });
+            // Amortize: if most entries are still live, back off so the
+            // prune stays O(1) amortized per request.
+            self.prune_watermark = (self.blocked.len() * 2).max(PRUNE_WATERMARK_MIN);
+        }
+    }
+
+    fn handle_completion(&mut self, c: Completion) {
+        let owner = self
+            .owners
+            .remove(&c.token)
+            .expect("completion for unknown token");
+        match owner {
+            TokenOwner::Foreground { arrival } => {
+                self.total_stall += c.completion.saturating_sub(arrival);
+            }
+            TokenOwner::MigrationRead { mig } => {
+                let (submit_writes, at) = {
+                    let e = &mut self.migs[mig];
+                    e.pending -= 1;
+                    e.latest = e.latest.max(c.completion);
+                    if e.pending == 0 && !e.reads_done {
+                        e.reads_done = true;
+                        (true, e.latest)
+                    } else {
+                        (false, Picos::ZERO)
+                    }
+                };
+                if submit_writes {
+                    let m = self.migs[mig].m;
+                    let mut n = 0;
+                    for line in m.line_start..m.line_start + m.line_count {
+                        for frame in [m.frame_a, m.frame_b] {
+                            let tok = self.mem.submit_with_priority(
+                                frame,
+                                line,
+                                AccessKind::Write,
+                                at,
+                                Priority::Background,
+                            );
+                            self.owners.insert(tok, TokenOwner::MigrationWrite { mig });
+                            n += 1;
+                        }
+                    }
+                    self.migs[mig].pending = n;
+                }
+            }
+            TokenOwner::MigrationWrite { mig } => {
+                let finished = {
+                    let e = &mut self.migs[mig];
+                    e.pending -= 1;
+                    e.latest = e.latest.max(c.completion);
+                    if e.pending == 0 {
+                        e.done = true;
+                        e.finish = e.latest;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if finished {
+                    let finish = self.migs[mig].finish;
+                    let m = self.migs[mig].m;
+                    if self.events_wanted {
+                        let latency = finish.saturating_sub(self.migs[mig].t_start);
+                        self.event(
+                            finish,
+                            EventKind::MigrationComplete {
+                                pod: m.pod,
+                                frame_a: m.frame_a.0,
+                                frame_b: m.frame_b.0,
+                                latency_ps: latency.as_ps(),
+                            },
+                        );
+                    }
+                    for page in [m.page_a, m.page_b] {
+                        if let Some(PageState::Migrating(idx)) = self.blocked.get(&page) {
+                            if *idx == mig {
+                                self.blocked.insert(page, PageState::BlockedUntil(finish));
+                            }
+                        }
+                    }
+                    let waiters = std::mem::take(&mut self.migs[mig].waiters);
+                    for mut w in waiters {
+                        w.issue = w.issue.max(finish);
+                        self.dispatch(w);
+                    }
+                    // Chain: launch the lane's next queued migration.
+                    if let Some(lane) = lane_of(&m) {
+                        let next = {
+                            let q = self.lanes.get_mut(&lane).expect("lane exists");
+                            debug_assert_eq!(q.front(), Some(&mig));
+                            q.pop_front();
+                            q.front().copied()
+                        };
+                        if let Some(next) = next {
+                            self.start_migration(next, finish);
+                        }
+                    }
+                }
+            }
+            TokenOwner::MetaFetch { mut waiter } => {
+                waiter.issue = waiter.issue.max(c.completion);
+                waiter.needs_meta = false;
+                self.dispatch(waiter);
+            }
+        }
+    }
+
+    /// Issues a waiter: via a metadata fetch if one is still needed,
+    /// otherwise as the foreground access itself.
+    fn dispatch(&mut self, w: Waiter) {
+        if w.needs_meta {
+            let meta_frame = meta_backing_frame(w.page, self.mem.layout().fast_frames, self.pods);
+            let tok = self.mem.submit(meta_frame, 0, AccessKind::Read, w.issue);
+            self.owners.insert(tok, TokenOwner::MetaFetch { waiter: w });
+            self.injected_meta += 1;
+        } else {
+            let tok = self.mem.submit(w.frame, w.line, w.kind, w.issue);
+            self.owners
+                .insert(tok, TokenOwner::Foreground { arrival: w.arrival });
+        }
+    }
+
+    /// Registers a migration: its pages block immediately (the remap is
+    /// already live, so their data is logically in transit), but the data
+    /// movement itself queues behind its lane — a pod migrates one page at
+    /// a time.
+    pub(crate) fn enqueue_migration(&mut self, m: Migration, at: Picos) {
+        let mig = self.migs.len();
+        self.event(
+            at,
+            EventKind::RemapSwap {
+                page_a: m.page_a.0,
+                page_b: m.page_b.0,
+                pod: m.pod,
+            },
+        );
+        self.migs.push(MigExec {
+            m,
+            pending: 0,
+            latest: at,
+            started: false,
+            reads_done: false,
+            done: false,
+            finish: Picos::MAX,
+            t_start: at,
+            waiters: Vec::new(),
+        });
+        self.injected_migration += m.injected_requests();
+        self.blocked.insert(m.page_a, PageState::Migrating(mig));
+        self.blocked.insert(m.page_b, PageState::Migrating(mig));
+        match lane_of(&m) {
+            None => self.start_migration(mig, at),
+            Some(lane) => {
+                let q = self.lanes.entry(lane).or_default();
+                q.push_back(mig);
+                if q.len() == 1 {
+                    self.start_migration(mig, at);
+                }
+            }
+        }
+    }
+
+    /// Launches a migration's read phase.
+    fn start_migration(&mut self, mig: usize, at: Picos) {
+        let m = self.migs[mig].m;
+        self.event(
+            at,
+            EventKind::MigrationStart {
+                pod: m.pod,
+                frame_a: m.frame_a.0,
+                frame_b: m.frame_b.0,
+                lines: m.line_count,
+            },
+        );
+        let mut pending = 0;
+        for line in m.line_start..m.line_start + m.line_count {
+            for frame in [m.frame_a, m.frame_b] {
+                let tok = self.mem.submit_with_priority(
+                    frame,
+                    line,
+                    AccessKind::Read,
+                    at,
+                    Priority::Background,
+                );
+                self.owners.insert(tok, TokenOwner::MigrationRead { mig });
+                pending += 1;
+            }
+        }
+        let e = &mut self.migs[mig];
+        e.started = true;
+        e.pending = pending;
+        e.latest = at;
+        e.t_start = at;
+    }
+
+    /// Routes a foreground access according to its page's blocking state.
+    ///
+    /// Three regimes per the pod's sequential migration driver:
+    /// * swap not yet started (lane-queued): the data still sits at its old
+    ///   frame — service from there immediately, no delay;
+    /// * swap in flight: delay until it completes (paper §4.3: "requests
+    ///   that arrive while migrations are being performed have to be
+    ///   delayed to ensure functionally correct memory behavior");
+    /// * swap finished: accesses ordered before the finish wait for it.
+    pub(crate) fn admit(&mut self, page: PageId, w: Waiter) {
+        match self.blocked.get(&page) {
+            Some(PageState::Migrating(idx)) if !self.migs[*idx].started => {
+                let m = &self.migs[*idx].m;
+                let mut w = w;
+                w.frame = if page == m.page_a {
+                    m.frame_a
+                } else {
+                    m.frame_b
+                };
+                self.dispatch(w);
+            }
+            Some(PageState::Migrating(idx)) if !self.migs[*idx].done => {
+                self.migs[*idx].waiters.push(w);
+            }
+            Some(PageState::Migrating(idx)) => {
+                let finish = self.migs[*idx].finish;
+                let mut w = w;
+                w.issue = w.issue.max(finish);
+                self.dispatch(w);
+            }
+            Some(PageState::BlockedUntil(t)) => {
+                let mut w = w;
+                w.issue = w.issue.max(*t);
+                self.dispatch(w);
+            }
+            None => self.dispatch(w),
+        }
+    }
+
+    /// Drains buffered events into `tel` in emission order (the sequential
+    /// path's flush; the sharded path uses `Telemetry::emit_merged`).
+    pub(crate) fn flush_events_into(&mut self, tel: &mut mempod_telemetry::Telemetry) {
+        for (t, kind) in self.events.drain(..) {
+            tel.event(t, kind);
+        }
+    }
+}
+
+/// The backing-store frame holding a page's metadata entry: a slice of
+/// fast memory, spread by a multiplicative hash (the paper partitions part
+/// of stacked memory as each mechanism's backing store).
+///
+/// The hash is *pod-local*: a page's entry lives in a fast frame of the
+/// page's own pod (`frame % pods == page % pods`), matching the paper's
+/// per-pod metadata organization (§6.3.3) — and, structurally, keeping the
+/// metadata fetch on the same shard as the access that triggered it. The
+/// old global hash was exactly the cross-shard hazard the shard-safety
+/// report flagged: a pod-0 access could inject a read into pod-3's
+/// channels. Layouts with fewer fast frames than pods (no room for a
+/// per-pod slice) keep the global hash; such systems never shard.
+fn meta_backing_frame(page: PageId, fast_frames: u64, pods: u32) -> FrameId {
+    let fast = fast_frames.max(1);
+    let pods = u64::from(pods.max(1));
+    let hash = page.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let per_pod = fast / pods;
+    if per_pod == 0 {
+        return FrameId(hash % fast);
+    }
+    // Fast frames of pod p are exactly {p, p + pods, p + 2*pods, ...}
+    // (Geometry::fast_frame_of_pod), so this stays in range and in-pod.
+    FrameId(page.0 % pods + pods * (hash % per_pod))
+}
+
+/// Greatest common divisor (for the shard-count feasibility computation).
+pub(crate) fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(8, 4), 4);
+        assert_eq!(gcd(4, 8), 4);
+        assert_eq!(gcd(7, 3), 1);
+        assert_eq!(gcd(12, 0), 12);
+        assert_eq!(gcd(0, 5), 5);
+    }
+
+    #[test]
+    fn meta_backing_frame_is_pod_local_and_in_range() {
+        let fast = 2048u64;
+        let pods = 4u32;
+        for p in 0..10_000u64 {
+            let f = meta_backing_frame(PageId(p), fast, pods);
+            assert!(f.0 < fast);
+            assert_eq!(f.0 % u64::from(pods), p % u64::from(pods), "page {p}");
+        }
+    }
+
+    #[test]
+    fn meta_backing_frame_degenerate_layouts_fall_back() {
+        // Fewer fast frames than pods: global hash, still in range.
+        for p in 0..100u64 {
+            assert!(meta_backing_frame(PageId(p), 3, 4).0 < 3);
+            // No fast tier at all: frame 0 (the old behavior).
+            assert_eq!(meta_backing_frame(PageId(p), 0, 4).0, 0);
+        }
+    }
+
+    #[test]
+    fn lane_routing_follows_granularity() {
+        let page = Migration::page_swap(FrameId(0), FrameId(4), PageId(0), PageId(4), Some(2));
+        assert_eq!(lane_of(&page), Some(2));
+        let unpodded = Migration::page_swap(FrameId(0), FrameId(4), PageId(0), PageId(4), None);
+        assert_eq!(lane_of(&unpodded), Some(-1));
+        let line = Migration::line_swap(FrameId(0), FrameId(4), 3, PageId(0), PageId(4));
+        assert_eq!(lane_of(&line), None);
+    }
+}

@@ -6,7 +6,7 @@
 //! when they would in the machine. Anything that must wait for an unknown
 //! completion time is *deferred* and woken by that completion:
 //!
-//! * a triggered [`Migration`] becomes a state machine — its 2×N reads are
+//! * a triggered `Migration` becomes a state machine — its 2×N reads are
 //!   injected (background priority), the write-backs launch when the last
 //!   read completes, and the two involved pages stay blocked until the last
 //!   write completes (paper §4.3/§6.2);
@@ -15,24 +15,42 @@
 //! * a metadata-cache miss injects one read to the backing store in fast
 //!   memory (paper §6.3.3); the access parks on the fetch.
 //!
+//! The engine state machine itself lives in [`crate::shard`]; this module
+//! drives it along one of two paths that produce **bit-identical** reports:
+//!
+//! * **sequential** — one [`Shard`] over the whole memory system, advanced
+//!   request by request (the reference semantics; forced via
+//!   [`Simulator::run_reference`]);
+//! * **sharded** — the system split into per-pod/per-channel residue
+//!   classes ([`MemorySystem::into_shards`]) that tick independently
+//!   between deterministic barriers. The main thread admits requests and
+//!   routes work items to shards by frame residue; shards pump their own
+//!   channels over the shared global arrival grid; barriers merge telemetry
+//!   in timestamp-then-shard-id order and feed the epoch driver. Because a
+//!   shard count is only accepted when frames, pages, channels, and
+//!   migration domains of one residue class never interact with another's
+//!   ([`Simulator::effective_shards`]), every per-channel scheduling
+//!   decision is the one the sequential engine would have made.
+//!
 //! AMMAT = foreground stall (completion − original arrival, including all
 //! gating) / original request count — the paper's fixed-denominator
 //! formulation (§6.2). Injected traffic contributes through contention and
 //! blocking, not through its own queueing time.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use mempod_core::{build_manager, MemoryManager, Migration};
-use mempod_dram::{Completion, MemorySystem, Priority, ReqToken};
-use mempod_telemetry::{EpochSnapshot, EventKind, Log2Histogram, Telemetry};
+use mempod_core::{build_manager, MemoryManager};
+use mempod_dram::{ChannelProbe, Interleave, MemorySystem, SystemStats};
+use mempod_telemetry::{EpochSnapshot, EventKind, Log2Histogram, PhaseClock, Telemetry};
 use mempod_trace::Trace;
-use mempod_types::convert::u64_from_usize;
-use mempod_types::{AccessKind, FrameId, PageId, Picos};
+use mempod_types::convert::{u32_from_u64, u64_from_usize, usize_from_u64};
+use mempod_types::Picos;
 
 use crate::config::{SimConfig, SimError};
 use crate::metrics::SimReport;
+use crate::shard::{gcd, Shard, ShardSet, Waiter, WorkItem};
 
 /// Consecutive metadata-cache misses that qualify as a burst event.
 const META_MISS_BURST_MIN: u64 = 8;
@@ -41,348 +59,45 @@ const META_MISS_BURST_MIN: u64 = 8;
 const REFRESH_STALL_EVENT_MIN: u64 = 16;
 /// Progress-counter flush granularity (requests per `fetch_add`).
 const PROGRESS_BATCH: u64 = 4096;
+/// Arrival-grid ticks per sharded barrier interval. Large enough to
+/// amortize the fork/join cost over thousands of channel decisions, small
+/// enough that telemetry merges and the epoch driver stay responsive.
+const BATCH_TICKS: usize = 4096;
 
-/// A foreground access waiting to be issued (possibly via a metadata fetch).
-#[derive(Debug, Clone, Copy)]
-struct Waiter {
-    /// Original arrival: the AMMAT accounting base.
-    arrival: Picos,
-    /// Earliest issue time accumulated so far (stall, blocking, fetch).
-    issue: Picos,
-    frame: FrameId,
-    line: u32,
-    kind: AccessKind,
-    /// Whether a metadata fetch must complete before the access issues.
-    needs_meta: bool,
-    /// Page used to spread metadata-fetch addresses.
-    page: PageId,
-}
-
-/// Who a completed token belongs to.
-#[derive(Debug, Clone, Copy)]
-enum TokenOwner {
-    Foreground { arrival: Picos },
-    MigrationRead { mig: usize },
-    MigrationWrite { mig: usize },
-    MetaFetch { waiter: Waiter },
-}
-
-/// One in-flight migration's execution state.
-#[derive(Debug)]
-struct MigExec {
-    m: Migration,
-    pending: usize,
-    latest: Picos,
-    started: bool,
-    reads_done: bool,
-    done: bool,
-    finish: Picos,
-    /// When the read phase launched (for the completion event's latency).
-    t_start: Picos,
-    waiters: Vec<Waiter>,
-}
-
-/// Lane key for serializing page swaps: pods migrate their pages one at a
-/// time (the pod's migration driver is a single engine), and HMA's OS lane
-/// is likewise serial. CAMEO's single-line swaps are not laned — they are
-/// driven by the MCs themselves on each access.
-fn lane_of(m: &Migration) -> Option<i64> {
-    if m.line_count < 32 {
-        None // line swap: event-driven, unserialised
-    } else {
-        Some(m.pod.map_or(-1, |p| p as i64))
-    }
-}
-
-/// Why a page cannot be accessed right now.
-#[derive(Debug, Clone, Copy)]
-enum PageState {
-    /// Swap in flight; index into the migration list.
-    Migrating(usize),
-    /// Swap finished at this time; accesses before it must wait.
-    BlockedUntil(Picos),
-}
-
-/// Run-time engine state (separate from `Simulator` so completions can
-/// trigger submissions without borrow gymnastics).
-struct Engine {
-    mem: MemorySystem,
-    owners: HashMap<ReqToken, TokenOwner>,
-    migs: Vec<MigExec>,
-    blocked: HashMap<PageId, PageState>,
-    /// Per-lane FIFO of migration indices; front = currently running.
-    lanes: HashMap<i64, std::collections::VecDeque<usize>>,
+/// A merged snapshot of engine state for the epoch driver, built at
+/// barriers (or per request on the sequential path, where the "merge" is
+/// over one shard). Keeping the driver off live engine references is what
+/// lets the same snapshot code serve both paths.
+struct EngineView {
     total_stall: Picos,
-    injected_migration: u64,
     injected_meta: u64,
-    /// Telemetry facade (disabled by default: every emit is one branch).
-    tel: Telemetry,
+    /// Migrations entered into the engine (sum of shard `migs` lengths).
+    migrations_entered: u64,
+    stats: SystemStats,
+    probe: Option<ChannelProbe>,
 }
 
-impl Engine {
-    /// Drains up to `horizon` repeatedly until no more completions appear
-    /// (completions may submit follow-up work that itself completes within
-    /// the horizon).
-    ///
-    /// Completion-driven submissions (migration write phases, woken parked
-    /// accesses) may arrive inside the already-drained slice; the channels
-    /// clamp such requests to their local `now`, so re-draining to the same
-    /// horizon services them without rewriting granted bus slots. The
-    /// channels' indexed scheduler state built up this way is checked by
-    /// `MemorySystem::audit_invariants` at sampled epoch boundaries and at
-    /// end of run.
-    fn pump(&mut self, horizon: Picos) {
-        loop {
-            let done = self.mem.drain_until(horizon);
-            if done.is_empty() {
-                break;
-            }
-            for c in done {
-                self.handle_completion(c);
-            }
+/// Merges the observable state of `shards` into one [`EngineView`].
+fn engine_view(shards: &[Shard]) -> EngineView {
+    let mut view = EngineView {
+        total_stall: Picos::ZERO,
+        injected_meta: 0,
+        migrations_entered: 0,
+        stats: SystemStats::default(),
+        probe: None,
+    };
+    for s in shards {
+        view.total_stall += s.total_stall;
+        view.injected_meta += s.injected_meta;
+        view.migrations_entered += u64_from_usize(s.migs.len());
+        view.stats.merge(&s.mem.stats());
+        if let Some(p) = s.mem.probe_summary() {
+            view.probe
+                .get_or_insert_with(ChannelProbe::default)
+                .merge(&p);
         }
     }
-
-    fn handle_completion(&mut self, c: Completion) {
-        let owner = self
-            .owners
-            .remove(&c.token)
-            .expect("completion for unknown token");
-        match owner {
-            TokenOwner::Foreground { arrival } => {
-                self.total_stall += c.completion.saturating_sub(arrival);
-            }
-            TokenOwner::MigrationRead { mig } => {
-                let (submit_writes, at) = {
-                    let e = &mut self.migs[mig];
-                    e.pending -= 1;
-                    e.latest = e.latest.max(c.completion);
-                    if e.pending == 0 && !e.reads_done {
-                        e.reads_done = true;
-                        (true, e.latest)
-                    } else {
-                        (false, Picos::ZERO)
-                    }
-                };
-                if submit_writes {
-                    let m = self.migs[mig].m;
-                    let mut n = 0;
-                    for line in m.line_start..m.line_start + m.line_count {
-                        for frame in [m.frame_a, m.frame_b] {
-                            let tok = self.mem.submit_with_priority(
-                                frame,
-                                line,
-                                AccessKind::Write,
-                                at,
-                                Priority::Background,
-                            );
-                            self.owners.insert(tok, TokenOwner::MigrationWrite { mig });
-                            n += 1;
-                        }
-                    }
-                    self.migs[mig].pending = n;
-                }
-            }
-            TokenOwner::MigrationWrite { mig } => {
-                let finished = {
-                    let e = &mut self.migs[mig];
-                    e.pending -= 1;
-                    e.latest = e.latest.max(c.completion);
-                    if e.pending == 0 {
-                        e.done = true;
-                        e.finish = e.latest;
-                        true
-                    } else {
-                        false
-                    }
-                };
-                if finished {
-                    let finish = self.migs[mig].finish;
-                    let m = self.migs[mig].m;
-                    if self.tel.is_enabled() {
-                        let latency = finish.saturating_sub(self.migs[mig].t_start);
-                        self.tel.event(
-                            finish.as_ps(),
-                            EventKind::MigrationComplete {
-                                pod: m.pod,
-                                frame_a: m.frame_a.0,
-                                frame_b: m.frame_b.0,
-                                latency_ps: latency.as_ps(),
-                            },
-                        );
-                    }
-                    for page in [m.page_a, m.page_b] {
-                        if let Some(PageState::Migrating(idx)) = self.blocked.get(&page) {
-                            if *idx == mig {
-                                self.blocked.insert(page, PageState::BlockedUntil(finish));
-                            }
-                        }
-                    }
-                    let waiters = std::mem::take(&mut self.migs[mig].waiters);
-                    for mut w in waiters {
-                        w.issue = w.issue.max(finish);
-                        self.dispatch(w);
-                    }
-                    // Chain: launch the lane's next queued migration.
-                    if let Some(lane) = lane_of(&m) {
-                        let next = {
-                            let q = self.lanes.get_mut(&lane).expect("lane exists");
-                            debug_assert_eq!(q.front(), Some(&mig));
-                            q.pop_front();
-                            q.front().copied()
-                        };
-                        if let Some(next) = next {
-                            self.start_migration(next, finish);
-                        }
-                    }
-                }
-            }
-            TokenOwner::MetaFetch { mut waiter } => {
-                waiter.issue = waiter.issue.max(c.completion);
-                waiter.needs_meta = false;
-                self.dispatch(waiter);
-            }
-        }
-    }
-
-    /// Issues a waiter: via a metadata fetch if one is still needed,
-    /// otherwise as the foreground access itself.
-    fn dispatch(&mut self, w: Waiter) {
-        if w.needs_meta {
-            let meta_frame = self.meta_backing_frame(w.page);
-            let tok = self.mem.submit(meta_frame, 0, AccessKind::Read, w.issue);
-            self.owners.insert(tok, TokenOwner::MetaFetch { waiter: w });
-            self.injected_meta += 1;
-        } else {
-            let tok = self.mem.submit(w.frame, w.line, w.kind, w.issue);
-            self.owners
-                .insert(tok, TokenOwner::Foreground { arrival: w.arrival });
-        }
-    }
-
-    /// Registers a migration: its pages block immediately (the remap is
-    /// already live, so their data is logically in transit), but the data
-    /// movement itself queues behind its lane — a pod migrates one page at
-    /// a time.
-    fn enqueue_migration(&mut self, m: Migration, at: Picos) {
-        let mig = self.migs.len();
-        if self.tel.is_enabled() {
-            self.tel.event(
-                at.as_ps(),
-                EventKind::RemapSwap {
-                    page_a: m.page_a.0,
-                    page_b: m.page_b.0,
-                    pod: m.pod,
-                },
-            );
-        }
-        self.migs.push(MigExec {
-            m,
-            pending: 0,
-            latest: at,
-            started: false,
-            reads_done: false,
-            done: false,
-            finish: Picos::MAX,
-            t_start: at,
-            waiters: Vec::new(),
-        });
-        self.injected_migration += m.injected_requests();
-        self.blocked.insert(m.page_a, PageState::Migrating(mig));
-        self.blocked.insert(m.page_b, PageState::Migrating(mig));
-        match lane_of(&m) {
-            None => self.start_migration(mig, at),
-            Some(lane) => {
-                let q = self.lanes.entry(lane).or_default();
-                q.push_back(mig);
-                if q.len() == 1 {
-                    self.start_migration(mig, at);
-                }
-            }
-        }
-    }
-
-    /// Launches a migration's read phase.
-    fn start_migration(&mut self, mig: usize, at: Picos) {
-        let m = self.migs[mig].m;
-        if self.tel.is_enabled() {
-            self.tel.event(
-                at.as_ps(),
-                EventKind::MigrationStart {
-                    pod: m.pod,
-                    frame_a: m.frame_a.0,
-                    frame_b: m.frame_b.0,
-                    lines: m.line_count,
-                },
-            );
-        }
-        let mut pending = 0;
-        for line in m.line_start..m.line_start + m.line_count {
-            for frame in [m.frame_a, m.frame_b] {
-                let tok = self.mem.submit_with_priority(
-                    frame,
-                    line,
-                    AccessKind::Read,
-                    at,
-                    Priority::Background,
-                );
-                self.owners.insert(tok, TokenOwner::MigrationRead { mig });
-                pending += 1;
-            }
-        }
-        let e = &mut self.migs[mig];
-        e.started = true;
-        e.pending = pending;
-        e.latest = at;
-        e.t_start = at;
-    }
-
-    /// Routes a foreground access according to its page's blocking state.
-    ///
-    /// Three regimes per the pod's sequential migration driver:
-    /// * swap not yet started (lane-queued): the data still sits at its old
-    ///   frame — service from there immediately, no delay;
-    /// * swap in flight: delay until it completes (paper §4.3: "requests
-    ///   that arrive while migrations are being performed have to be
-    ///   delayed to ensure functionally correct memory behavior");
-    /// * swap finished: accesses ordered before the finish wait for it.
-    fn admit(&mut self, page: PageId, w: Waiter) {
-        match self.blocked.get(&page) {
-            Some(PageState::Migrating(idx)) if !self.migs[*idx].started => {
-                let m = &self.migs[*idx].m;
-                let mut w = w;
-                w.frame = if page == m.page_a {
-                    m.frame_a
-                } else {
-                    m.frame_b
-                };
-                self.dispatch(w);
-            }
-            Some(PageState::Migrating(idx)) if !self.migs[*idx].done => {
-                self.migs[*idx].waiters.push(w);
-            }
-            Some(PageState::Migrating(idx)) => {
-                let finish = self.migs[*idx].finish;
-                let mut w = w;
-                w.issue = w.issue.max(finish);
-                self.dispatch(w);
-            }
-            Some(PageState::BlockedUntil(t)) => {
-                let mut w = w;
-                w.issue = w.issue.max(*t);
-                self.dispatch(w);
-            }
-            None => self.dispatch(w),
-        }
-    }
-
-    /// The backing-store frame holding a metadata entry: a slice of fast
-    /// memory, spread by a multiplicative hash (the paper partitions part of
-    /// stacked memory as each mechanism's backing store).
-    fn meta_backing_frame(&self, page: PageId) -> FrameId {
-        let fast = self.mem.layout().fast_frames.max(1);
-        FrameId(page.0.wrapping_mul(0x9E3779B97F4A7C15) % fast)
-    }
+    view
 }
 
 /// Pull-based epoch snapshot driver.
@@ -393,7 +108,9 @@ impl Engine {
 /// covering the whole gap (sparse traces can skip thousands of epochs at
 /// once; emitting one snapshot per gap keeps telemetry O(requests), not
 /// O(simulated time)). Nothing here touches the per-access hot path — the
-/// driver only ever *reads* counters the simulation already maintained.
+/// driver only ever *reads* counters the simulation already maintained,
+/// handed over as an [`EngineView`] built at the same point the sequential
+/// loop would have polled them.
 struct EpochDriver {
     len: Picos,
     next_boundary: Picos,
@@ -437,15 +154,24 @@ impl EpochDriver {
         })
     }
 
+    /// Whether `now` has reached the next epoch boundary — i.e. whether
+    /// [`observe`](EpochDriver::observe) would snapshot. Callers check this
+    /// before building an [`EngineView`] so the per-request cost stays one
+    /// comparison.
+    fn crosses(&self, now: Picos) -> bool {
+        now >= self.next_boundary
+    }
+
     /// Emits one snapshot if `now` has crossed the next epoch boundary.
     fn observe(
         &mut self,
         now: Picos,
         requests_so_far: u64,
         mgr: &dyn MemoryManager,
-        eng: &mut Engine,
+        view: &mut EngineView,
+        tel: &mut Telemetry,
     ) {
-        if now < self.next_boundary {
+        if !self.crosses(now) {
             return;
         }
         let len = self.len.as_ps();
@@ -454,7 +180,7 @@ impl EpochDriver {
         self.next_boundary = boundary + self.len;
         // Boundaries are exact multiples of the epoch length.
         let epoch = boundary.as_ps() / len;
-        self.snapshot_at(epoch, boundary, crossed, requests_so_far, mgr, eng);
+        self.snapshot_at(epoch, boundary, crossed, requests_so_far, mgr, view, tel);
     }
 
     /// Emits a final snapshot covering the partial window since the last
@@ -466,14 +192,24 @@ impl EpochDriver {
         end: Picos,
         requests_so_far: u64,
         mgr: &dyn MemoryManager,
-        eng: &mut Engine,
+        view: &mut EngineView,
+        tel: &mut Telemetry,
     ) {
-        if requests_so_far == self.prev_requests && eng.migs.len() as u64 == self.prev_migrations {
+        if requests_so_far == self.prev_requests && view.migrations_entered == self.prev_migrations
+        {
             return;
         }
         let epoch = self.next_boundary.as_ps() / self.len.as_ps();
         let last_boundary = self.next_boundary.saturating_sub(self.len);
-        self.snapshot_at(epoch, end.max(last_boundary), 1, requests_so_far, mgr, eng);
+        self.snapshot_at(
+            epoch,
+            end.max(last_boundary),
+            1,
+            requests_so_far,
+            mgr,
+            view,
+            tel,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -484,7 +220,8 @@ impl EpochDriver {
         epochs_elapsed: u64,
         requests_so_far: u64,
         mgr: &dyn MemoryManager,
-        eng: &mut Engine,
+        view: &mut EngineView,
+        tel: &mut Telemetry,
     ) {
         let mut snap = EpochSnapshot::empty(epoch, boundary.as_ps());
         snap.epochs_elapsed = epochs_elapsed;
@@ -493,7 +230,7 @@ impl EpochDriver {
         snap.requests_delta = requests_so_far - self.prev_requests;
         self.prev_requests = requests_so_far;
         snap.ammat_ps_so_far =
-            (requests_so_far > 0).then(|| eng.total_stall.as_ps() as f64 / requests_so_far as f64);
+            (requests_so_far > 0).then(|| view.total_stall.as_ps() as f64 / requests_so_far as f64);
 
         let mig = mgr.migration_stats();
         snap.migrations = mig.migrations;
@@ -510,7 +247,7 @@ impl EpochDriver {
             .collect();
         self.prev_per_pod_bytes.copy_from_slice(&mig.per_pod_bytes);
 
-        let stats = eng.mem.stats();
+        let stats = view.stats;
         let total = stats.total();
         snap.fast_requests_delta = stats.fast.requests() - self.prev_fast;
         snap.slow_requests_delta = stats.slow.requests() - self.prev_slow;
@@ -528,8 +265,8 @@ impl EpochDriver {
         snap.refreshes_delta = total.refreshes - self.prev_refreshes;
         self.prev_refreshes = total.refreshes;
 
-        snap.meta_miss_delta = eng.injected_meta - self.prev_meta;
-        self.prev_meta = eng.injected_meta;
+        snap.meta_miss_delta = view.injected_meta - self.prev_meta;
+        self.prev_meta = view.injected_meta;
 
         // Manager counters are reported as per-window deltas, matched by
         // name against the previous poll.
@@ -545,7 +282,7 @@ impl EpochDriver {
         }
         self.prev_manager = mc;
 
-        if let Some(probe) = eng.mem.probe_summary() {
+        if let Some(probe) = view.probe.take() {
             let window = probe.depth.diff(&self.prev_depth);
             snap.queue_depth_p50 = window.value_at_quantile(0.50);
             snap.queue_depth_p99 = window.value_at_quantile(0.99);
@@ -555,7 +292,7 @@ impl EpochDriver {
             let stall_delta = probe.stalled_refreshes - self.prev_stalled_refreshes;
             self.prev_stalled_refreshes = probe.stalled_refreshes;
             if stall_delta >= REFRESH_STALL_EVENT_MIN {
-                eng.tel.event(
+                tel.event(
                     boundary.as_ps(),
                     EventKind::RefreshStall {
                         refreshes: stall_delta,
@@ -568,7 +305,7 @@ impl EpochDriver {
         let high_water = u64_from_usize(total.max_queue_depth);
         if high_water > self.prev_high_water {
             self.prev_high_water = high_water;
-            eng.tel.event(
+            tel.event(
                 boundary.as_ps(),
                 EventKind::QueueDepthHighWater {
                     depth: high_water,
@@ -577,7 +314,7 @@ impl EpochDriver {
             );
         }
 
-        eng.tel.snapshot(snap);
+        tel.snapshot(snap);
     }
 }
 
@@ -587,17 +324,26 @@ impl EpochDriver {
 /// consumes it (manager and memory state are not reusable across traces).
 /// Attach telemetry with [`with_telemetry`] to get per-epoch snapshots and
 /// a JSONL event stream; attach a progress counter with [`with_progress`]
-/// for live sweep monitoring.
+/// for live sweep monitoring; request a sharded run with [`with_shards`]
+/// (the result is bit-identical to the sequential path by construction).
 ///
 /// [`run`]: Simulator::run
 /// [`with_telemetry`]: Simulator::with_telemetry
 /// [`with_progress`]: Simulator::with_progress
+/// [`with_shards`]: Simulator::with_shards
 pub struct Simulator {
     cfg: SimConfig,
     mgr: Box<dyn MemoryManager>,
     mem: MemorySystem,
     tel: Telemetry,
     progress: Option<Arc<AtomicU64>>,
+    /// Requested shard count (1 = sequential; clamped by
+    /// [`Simulator::effective_shards`]).
+    shards: u32,
+    /// Run shard phases serially on the calling thread (exact per-shard
+    /// busy timing for [`PhaseClock`]; bit-identical results).
+    serial_shards: bool,
+    phase_clock: Option<Arc<PhaseClock>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -605,6 +351,7 @@ impl std::fmt::Debug for Simulator {
         f.debug_struct("Simulator")
             .field("manager", &self.cfg.manager)
             .field("geometry", &self.cfg.mgr.geometry)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -647,6 +394,9 @@ impl Simulator {
             mem,
             tel: Telemetry::disabled(),
             progress: None,
+            shards: 1,
+            serial_shards: false,
+            phase_clock: None,
         })
     }
 
@@ -669,7 +419,99 @@ impl Simulator {
         self
     }
 
+    /// Requests a sharded run over (at most) `shards` residue classes.
+    ///
+    /// The count actually used is [`Simulator::effective_shards`] — the
+    /// largest divisor of `shards` for which sharding is provably
+    /// transparent; the report is bit-identical to the sequential path at
+    /// any accepted count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards;
+        self
+    }
+
+    /// Runs shard phases serially on the calling thread instead of on
+    /// worker threads. Results are bit-identical (shards are disjoint); the
+    /// point is measurement: serial phases give [`PhaseClock`] exact
+    /// per-shard busy times on machines with fewer cores than shards,
+    /// where a worker's wall time would include preemption by its
+    /// siblings.
+    #[must_use]
+    pub fn with_serial_shards(mut self, serial: bool) -> Self {
+        self.serial_shards = serial;
+        self
+    }
+
+    /// Attaches a [`PhaseClock`] that accumulates admission time and
+    /// per-barrier shard busy times for the sharded path (strictly
+    /// observability; the sequential path ignores it).
+    #[must_use]
+    pub fn with_phase_clock(mut self, clock: Arc<PhaseClock>) -> Self {
+        self.phase_clock = Some(clock);
+        self
+    }
+
+    /// The shard count a [`run`](Simulator::run) will actually use: the
+    /// largest divisor of the requested count for which the residue-class
+    /// partition is provably transparent.
+    ///
+    /// `shard_of(frame) = frame % S` is sound iff every interaction stays
+    /// within one residue class:
+    ///
+    /// * channels — with page-frame interleaving, a fast frame `f` maps to
+    ///   channel `f % fast_channels`, so `S` must divide `fast_channels`
+    ///   (when the fast tier holds frames), and likewise `slow_channels`;
+    ///   a slow frame's channel index shifts by `fast_frames`, so when both
+    ///   tiers exist `S` must also divide `fast_frames`. Line-striped
+    ///   interleaving spreads one page over all channels — never sharded;
+    /// * migrations and blocking — a manager's swaps must stay within one
+    ///   residue class, which [`MemoryManager::migration_domains`] attests:
+    ///   `S` must divide the domain count, except for the `u32::MAX`
+    ///   "unconstrained" sentinel (static placements that never migrate);
+    /// * metadata fetches — the backing-store hash is pod-local, so domain
+    ///   divisibility covers it; layouts with fewer fast frames than pods
+    ///   fall back to a global hash and are never sharded.
+    pub fn effective_shards(&self) -> u32 {
+        if self.shards <= 1 {
+            return 1;
+        }
+        let layout = self.mem.layout();
+        if layout.interleave != Interleave::PageFrame {
+            return 1;
+        }
+        let pods = u64::from(self.cfg.mgr.geometry.pods());
+        if layout.fast_frames > 0 && layout.fast_frames < pods {
+            return 1; // metadata backing store falls back to a global hash
+        }
+        let mut g = u64::from(self.shards);
+        if layout.fast_frames > 0 {
+            g = gcd(g, u64::from(layout.fast_channels));
+        }
+        if layout.slow_frames > 0 {
+            g = gcd(g, u64::from(layout.slow_channels));
+        }
+        if layout.fast_frames > 0 && layout.slow_frames > 0 {
+            g = gcd(g, layout.fast_frames);
+        }
+        let domains = self.mgr.migration_domains();
+        if domains != u32::MAX {
+            g = gcd(g, u64::from(domains));
+        }
+        u32::try_from(g.max(1)).unwrap_or(1)
+    }
+
     /// Runs the trace to completion and reports metrics.
+    ///
+    /// Dispatches to the sequential loop (the default) or, when
+    /// [`with_shards`](Simulator::with_shards) resolved to more than one
+    /// effective shard, to the sharded loop — the two produce bit-identical
+    /// reports.
     ///
     /// With the `debug-invariants` feature enabled, an
     /// [`InvariantAuditor`](mempod_audit::InvariantAuditor) checks the
@@ -678,6 +520,31 @@ impl Simulator {
     /// manager's tracker and this engine at sampled epoch boundaries, and
     /// panics at the end of the run if any invariant was violated.
     pub fn run(mut self, trace: &Trace) -> SimReport {
+        let shards = self.effective_shards();
+        if self.tel.is_enabled() {
+            self.mem.attach_probes();
+        }
+        if shards <= 1 {
+            self.run_sequential(trace)
+        } else {
+            self.run_sharded(trace, shards)
+        }
+    }
+
+    /// Runs the sequential reference path regardless of any configured
+    /// shard count — the ground truth the sharded path's differential
+    /// tests and benchmarks compare against.
+    #[cfg(any(test, feature = "reference-sim"))]
+    pub fn run_reference(mut self, trace: &Trace) -> SimReport {
+        if self.tel.is_enabled() {
+            self.mem.attach_probes();
+        }
+        self.run_sequential(trace)
+    }
+
+    /// The sequential event loop: one shard over the whole memory system,
+    /// advanced request by request.
+    fn run_sequential(mut self, trace: &Trace) -> SimReport {
         let mut report = SimReport::new(trace.name(), self.cfg.manager);
         report.requests = trace.len() as u64;
         #[cfg(feature = "debug-invariants")]
@@ -687,9 +554,7 @@ impl Simulator {
         );
 
         let telemetry_on = self.tel.is_enabled();
-        if telemetry_on {
-            self.mem.attach_probes();
-        }
+        let events_wanted = self.tel.wants_events();
         let mut driver = if telemetry_on {
             EpochDriver::new(self.cfg.mgr.epoch)
         } else {
@@ -699,23 +564,25 @@ impl Simulator {
         let mut miss_run = 0u64;
         let mut progress_batch = 0u64;
 
-        let mut prune_watermark = 8192usize;
-        let mut eng = Engine {
-            mem: self.mem,
-            owners: HashMap::new(),
-            migs: Vec::new(),
-            blocked: HashMap::new(),
-            lanes: HashMap::new(),
-            total_stall: Picos::ZERO,
-            injected_migration: 0,
-            injected_meta: 0,
-            tel: self.tel,
-        };
+        let pods = self.cfg.mgr.geometry.pods();
+        let mut eng = Shard::new(self.mem, pods, events_wanted);
 
         for req in trace.requests() {
             eng.pump(req.arrival);
+            if events_wanted {
+                eng.flush_events_into(&mut self.tel);
+            }
             if let Some(d) = driver.as_mut() {
-                d.observe(req.arrival, requests_so_far, &*self.mgr, &mut eng);
+                if d.crosses(req.arrival) {
+                    let mut view = engine_view(std::slice::from_ref(&eng));
+                    d.observe(
+                        req.arrival,
+                        requests_so_far,
+                        &*self.mgr,
+                        &mut view,
+                        &mut self.tel,
+                    );
+                }
             }
 
             let outcome = self.mgr.on_access(req);
@@ -724,7 +591,7 @@ impl Simulator {
                     miss_run += 1;
                 } else if miss_run > 0 {
                     if miss_run >= META_MISS_BURST_MIN {
-                        eng.tel.event(
+                        self.tel.event(
                             req.arrival.as_ps(),
                             EventKind::MetaMissBurst { len: miss_run },
                         );
@@ -768,35 +635,37 @@ impl Simulator {
                     progress_batch = 0;
                 }
             }
-
-            if eng.blocked.len() >= prune_watermark {
-                let migs = &eng.migs;
-                let now = req.arrival;
-                eng.blocked.retain(|_, s| match s {
-                    PageState::Migrating(idx) => !migs[*idx].done,
-                    PageState::BlockedUntil(t) => *t > now,
-                });
-                // Amortize: if most entries are still live, back off so the
-                // prune stays O(1) amortized per request.
-                prune_watermark = (eng.blocked.len() * 2).max(8192);
+            eng.maybe_prune(req.arrival);
+            if events_wanted {
+                eng.flush_events_into(&mut self.tel);
             }
         }
 
         // Flush: completions may spawn write phases and parked accesses.
         eng.pump(Picos::MAX);
+        if events_wanted {
+            eng.flush_events_into(&mut self.tel);
+        }
         if let Some(p) = &self.progress {
             p.fetch_add(progress_batch, Ordering::Relaxed);
         }
         if telemetry_on && miss_run >= META_MISS_BURST_MIN {
-            eng.tel.event(
+            self.tel.event(
                 trace.duration().as_ps(),
                 EventKind::MetaMissBurst { len: miss_run },
             );
         }
         if let Some(d) = driver.as_mut() {
-            d.finalize(trace.duration(), requests_so_far, &*self.mgr, &mut eng);
+            let mut view = engine_view(std::slice::from_ref(&eng));
+            d.finalize(
+                trace.duration(),
+                requests_so_far,
+                &*self.mgr,
+                &mut view,
+                &mut self.tel,
+            );
         }
-        assert!(eng.owners.is_empty(), "requests lost in the memory system");
+        assert!(eng.owners_empty(), "requests lost in the memory system");
         debug_assert!(eng.migs.iter().all(|e| e.done && e.waiters.is_empty()));
         #[cfg(feature = "debug-invariants")]
         {
@@ -819,12 +688,358 @@ impl Simulator {
         report.injected_migration_requests = eng.injected_migration;
         report.injected_meta_requests = eng.injected_meta;
         report.mem_stats = eng.mem.stats();
-        eng.tel.flush();
-        report.timeline = eng.tel.ring.drain();
+        self.tel.flush();
+        report.timeline = self.tel.ring.drain();
+        report
+    }
+
+    /// The sharded event loop: admission on this thread, shard phases
+    /// between barriers, telemetry merged deterministically at each
+    /// barrier.
+    fn run_sharded(mut self, trace: &Trace, n: u32) -> SimReport {
+        let mut report = SimReport::new(trace.name(), self.cfg.manager);
+        report.requests = trace.len() as u64;
+        #[cfg(feature = "debug-invariants")]
+        let mut auditor = mempod_audit::InvariantAuditor::new(
+            format!("{} on {} ({n} shards)", self.cfg.manager, trace.name()),
+            8,
+        );
+
+        let telemetry_on = self.tel.is_enabled();
+        let events_wanted = self.tel.wants_events();
+        let mut driver = if telemetry_on {
+            EpochDriver::new(self.cfg.mgr.epoch)
+        } else {
+            None
+        };
+        let mut requests_so_far = 0u64;
+        let mut miss_run = 0u64;
+        let mut progress_batch = 0u64;
+
+        let pods = self.cfg.mgr.geometry.pods();
+        let nu = u64::from(n);
+        let mut set = ShardSet {
+            shards: self
+                .mem
+                .into_shards(n)
+                .into_iter()
+                .map(|mem| Shard::new(mem, pods, events_wanted))
+                .collect(),
+        };
+        let shards = &mut set.shards;
+
+        let serial = self.serial_shards;
+        let clock = self.phase_clock.clone();
+        // Observability-only: wall-clock phase accounting for the scaling
+        // benchmark; nothing simulated ever reads it.
+        let mut admit_start = clock.as_ref().map(|_| Instant::now());
+
+        let mut arrivals: Vec<Picos> = Vec::with_capacity(BATCH_TICKS + 1);
+        let mut work: Vec<Vec<(u32, WorkItem)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut main_events: Vec<(u64, EventKind)> = Vec::new();
+        #[cfg(feature = "debug-invariants")]
+        let mut batch_migrated = false;
+
+        for req in trace.requests() {
+            let crossing = driver.as_ref().is_some_and(|d| d.crosses(req.arrival));
+            if crossing && !(arrivals.is_empty() && requests_so_far == 0) {
+                // Pre-pump round: bring every shard to this arrival so the
+                // epoch snapshot observes exactly the state the sequential
+                // loop (pump, then observe) would have. The next batch
+                // re-pumps to the same horizon, which is a no-op.
+                arrivals.push(req.arrival);
+                barrier(
+                    shards,
+                    &mut arrivals,
+                    &mut work,
+                    serial,
+                    clock.as_deref(),
+                    &mut admit_start,
+                    &mut self.tel,
+                    &mut main_events,
+                    events_wanted,
+                );
+            }
+            if let Some(d) = driver.as_mut().filter(|_| crossing) {
+                let mut view = engine_view(shards);
+                d.observe(
+                    req.arrival,
+                    requests_so_far,
+                    &*self.mgr,
+                    &mut view,
+                    &mut self.tel,
+                );
+            }
+
+            let tick = u32_from_u64(u64_from_usize(arrivals.len()));
+            arrivals.push(req.arrival);
+
+            let outcome = self.mgr.on_access(req);
+            if telemetry_on {
+                if outcome.meta_miss {
+                    miss_run += 1;
+                } else if miss_run > 0 {
+                    if miss_run >= META_MISS_BURST_MIN && events_wanted {
+                        main_events.push((
+                            req.arrival.as_ps(),
+                            EventKind::MetaMissBurst { len: miss_run },
+                        ));
+                    }
+                    miss_run = 0;
+                }
+            }
+            for m in outcome.migrations {
+                #[cfg(feature = "debug-invariants")]
+                {
+                    batch_migrated = true;
+                }
+                let s = usize_from_u64(m.frame_a.0 % nu);
+                work[s].push((tick, WorkItem::Migrate(m)));
+            }
+
+            let w = Waiter {
+                arrival: req.arrival,
+                issue: req.arrival + outcome.stall,
+                frame: outcome.frame,
+                line: outcome.line_in_page,
+                kind: req.kind,
+                needs_meta: outcome.meta_miss,
+                page: req.addr.page(),
+            };
+            let s = usize_from_u64(outcome.frame.0 % nu);
+            work[s].push((
+                tick,
+                WorkItem::Admit {
+                    page: req.addr.page(),
+                    w,
+                },
+            ));
+            requests_so_far += 1;
+            if self.progress.is_some() {
+                progress_batch += 1;
+                if progress_batch == PROGRESS_BATCH {
+                    if let Some(p) = &self.progress {
+                        p.fetch_add(PROGRESS_BATCH, Ordering::Relaxed);
+                    }
+                    progress_batch = 0;
+                }
+            }
+
+            if arrivals.len() >= BATCH_TICKS {
+                barrier(
+                    shards,
+                    &mut arrivals,
+                    &mut work,
+                    serial,
+                    clock.as_deref(),
+                    &mut admit_start,
+                    &mut self.tel,
+                    &mut main_events,
+                    events_wanted,
+                );
+                #[cfg(feature = "debug-invariants")]
+                if batch_migrated && auditor.should_sample() {
+                    self.mgr.audit_invariants(&mut auditor);
+                    for sh in shards.iter() {
+                        sh.mem.audit_invariants(&mut auditor);
+                    }
+                    auditor.check_conserved(
+                        "migrations: manager tracker vs engine",
+                        self.mgr.migration_stats().migrations,
+                        shards.iter().map(|sh| sh.migs.len() as u64).sum::<u64>(),
+                    );
+                }
+                #[cfg(feature = "debug-invariants")]
+                {
+                    batch_migrated = false;
+                }
+            }
+        }
+
+        // Final round: every shard pumps to the end of time so completions
+        // can spawn write phases and parked accesses.
+        arrivals.push(Picos::MAX);
+        barrier(
+            shards,
+            &mut arrivals,
+            &mut work,
+            serial,
+            clock.as_deref(),
+            &mut admit_start,
+            &mut self.tel,
+            &mut main_events,
+            events_wanted,
+        );
+
+        if let Some(p) = &self.progress {
+            p.fetch_add(progress_batch, Ordering::Relaxed);
+        }
+        if telemetry_on && miss_run >= META_MISS_BURST_MIN {
+            self.tel.event(
+                trace.duration().as_ps(),
+                EventKind::MetaMissBurst { len: miss_run },
+            );
+        }
+        if let Some(d) = driver.as_mut() {
+            let mut view = engine_view(shards);
+            d.finalize(
+                trace.duration(),
+                requests_so_far,
+                &*self.mgr,
+                &mut view,
+                &mut self.tel,
+            );
+        }
+        for sh in shards.iter() {
+            assert!(sh.owners_empty(), "requests lost in the memory system");
+        }
+        debug_assert!(shards
+            .iter()
+            .all(|sh| sh.migs.iter().all(|e| e.done && e.waiters.is_empty())));
+        #[cfg(feature = "debug-invariants")]
+        {
+            // End-of-run pass: every invariant is checked at least once even
+            // if no batch boundary was sampled.
+            self.mgr.audit_invariants(&mut auditor);
+            for sh in shards.iter() {
+                sh.mem.audit_invariants(&mut auditor);
+            }
+            auditor.check_conserved(
+                "migrations: manager tracker vs engine",
+                self.mgr.migration_stats().migrations,
+                shards.iter().map(|sh| sh.migs.len() as u64).sum::<u64>(),
+            );
+            auditor.assert_clean();
+        }
+
+        report.total_stall = shards
+            .iter()
+            .fold(Picos::ZERO, |acc, sh| acc + sh.total_stall);
+        report.duration = trace.duration();
+        report.migration = self.mgr.migration_stats().clone();
+        report.meta_cache = self.mgr.meta_cache_stats();
+        report.injected_migration_requests = shards.iter().map(|sh| sh.injected_migration).sum();
+        report.injected_meta_requests = shards.iter().map(|sh| sh.injected_meta).sum();
+        let mut stats = SystemStats::default();
+        for sh in shards.iter() {
+            stats.merge(&sh.mem.stats());
+        }
+        report.mem_stats = stats;
+        self.tel.flush();
+        report.timeline = self.tel.ring.drain();
         report
     }
 }
 
+/// One barrier: run the accumulated batch on every shard, merge the
+/// buffered telemetry deterministically, and reset the batch.
+#[allow(clippy::too_many_arguments)]
+fn barrier(
+    shards: &mut [Shard],
+    arrivals: &mut Vec<Picos>,
+    work: &mut [Vec<(u32, WorkItem)>],
+    serial: bool,
+    clock: Option<&PhaseClock>,
+    admit_start: &mut Option<Instant>,
+    tel: &mut Telemetry,
+    main_events: &mut Vec<(u64, EventKind)>,
+    events_wanted: bool,
+) {
+    if arrivals.is_empty() {
+        return;
+    }
+    if let (Some(c), Some(t0)) = (clock, admit_start.as_ref()) {
+        c.record_admission(elapsed_ns(t0));
+    }
+    run_batch(shards, arrivals, work, serial, clock);
+    if events_wanted {
+        merge_events(tel, shards, main_events);
+    }
+    arrivals.clear();
+    if let Some(t0) = admit_start.as_mut() {
+        // Observability-only: wall-clock origin of the next admission
+        // phase; never feeds simulated state.
+        *t0 = Instant::now();
+    }
+}
+
+/// Runs one batch of ticks on every shard — on worker threads by default,
+/// or serially on the calling thread when exact per-shard busy times are
+/// wanted (shards are disjoint, so the results are identical either way).
+fn run_batch(
+    shards: &mut [Shard],
+    arrivals: &[Picos],
+    work: &mut [Vec<(u32, WorkItem)>],
+    serial: bool,
+    clock: Option<&PhaseClock>,
+) {
+    let timed = clock.is_some();
+    let busys: Vec<u64> = if serial || shards.len() == 1 {
+        shards
+            .iter_mut()
+            .zip(work.iter_mut())
+            .map(|(s, w)| {
+                // Observability-only: wall-clock busy-time measurement for
+                // the phase clock; never feeds simulated state.
+                let t0 = timed.then(Instant::now);
+                s.run_ticks(arrivals, w);
+                w.clear();
+                t0.as_ref().map_or(0, elapsed_ns)
+            })
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(work.iter_mut())
+                .map(|(s, w)| {
+                    scope.spawn(move || {
+                        // Observability-only: per-worker wall-clock busy
+                        // time; accurate when cores >= shards, summarized
+                        // by the phase clock either way.
+                        let t0 = timed.then(Instant::now);
+                        s.run_ticks(arrivals, w);
+                        w.clear();
+                        t0.as_ref().map_or(0, elapsed_ns)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    };
+    if let Some(c) = clock {
+        c.record_interval(&busys);
+    }
+}
+
+/// Nanoseconds elapsed since `t0`, saturating.
+fn elapsed_ns(t0: &Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Drains every shard's event buffer (plus the admission thread's, merged
+/// last) through [`Telemetry::emit_merged`], then hands the emptied
+/// buffers back so their capacity is reused.
+fn merge_events(
+    tel: &mut Telemetry,
+    shards: &mut [Shard],
+    main_events: &mut Vec<(u64, EventKind)>,
+) {
+    let mut bufs: Vec<Vec<(u64, EventKind)>> = Vec::with_capacity(shards.len() + 1);
+    for s in shards.iter_mut() {
+        bufs.push(std::mem::take(&mut s.events));
+    }
+    bufs.push(std::mem::take(main_events));
+    tel.emit_merged(&mut bufs);
+    let mut it = bufs.into_iter();
+    for s in shards.iter_mut() {
+        s.events = it.next().expect("one buffer per shard");
+    }
+    *main_events = it.next().expect("admission buffer");
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1027,6 +1242,131 @@ mod tests {
             .with_progress(Arc::clone(&counter))
             .run(&demo_trace(10_000));
         assert_eq!(counter.load(Ordering::Relaxed), report.requests);
+    }
+
+    fn run_sharded_with(kind: ManagerKind, n: usize, shards: u32) -> SimReport {
+        let cfg = SimConfig::new(SystemConfig::tiny(), kind);
+        Simulator::new(cfg)
+            .expect("valid")
+            .with_shards(shards)
+            .run(&demo_trace(n))
+    }
+
+    fn run_reference_with(kind: ManagerKind, n: usize) -> SimReport {
+        let cfg = SimConfig::new(SystemConfig::tiny(), kind);
+        Simulator::new(cfg)
+            .expect("valid")
+            .run_reference(&demo_trace(n))
+    }
+
+    #[test]
+    fn effective_shards_respects_channels_pods_and_domains() {
+        let sim = |kind: ManagerKind, req: u32| {
+            Simulator::new(SimConfig::new(SystemConfig::tiny(), kind))
+                .expect("valid")
+                .with_shards(req)
+                .effective_shards()
+        };
+        // MemPod: gcd(requested, 8 fast ch, 4 slow ch, 2048 fast frames,
+        // 4 pods) -- capped at 4 by the slow channels and pod count.
+        assert_eq!(sim(ManagerKind::MemPod, 1), 1);
+        assert_eq!(sim(ManagerKind::MemPod, 2), 2);
+        assert_eq!(sim(ManagerKind::MemPod, 4), 4);
+        assert_eq!(sim(ManagerKind::MemPod, 8), 4);
+        assert_eq!(sim(ManagerKind::MemPod, 3), 1);
+        // Single-domain managers never shard.
+        assert_eq!(sim(ManagerKind::Hma, 8), 1);
+        assert_eq!(sim(ManagerKind::Thm, 8), 1);
+        assert_eq!(sim(ManagerKind::Cameo, 8), 1);
+        // Statics are unconstrained by domains: HBM-only has 8 fast
+        // channels and no slow tier.
+        assert_eq!(sim(ManagerKind::HbmOnly, 8), 8);
+        assert_eq!(sim(ManagerKind::DdrOnly, 8), 4);
+    }
+
+    #[test]
+    fn sharded_runs_match_the_reference_bit_for_bit() {
+        for kind in [
+            ManagerKind::MemPod,
+            ManagerKind::NoMigration,
+            ManagerKind::HbmOnly,
+        ] {
+            let reference = run_reference_with(kind, 30_000);
+            for shards in [2u32, 4, 8] {
+                let sharded = run_sharded_with(kind, 30_000, shards);
+                assert_eq!(reference, sharded, "{kind} diverged at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_telemetry_matches_reference_timeline_and_events() {
+        let trace = demo_trace(40_000);
+        let run = |shards: Option<u32>| {
+            let sink = mempod_telemetry::MemorySink::new();
+            let lines = sink.handle();
+            let cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+            let sim = Simulator::new(cfg)
+                .expect("valid")
+                .with_telemetry(Telemetry::with_sink(Box::new(sink)));
+            let report = match shards {
+                Some(k) => sim.with_shards(k).run(&trace),
+                None => sim.run_reference(&trace),
+            };
+            let mut lines = lines.lock().expect("sink mutex").clone();
+            // The sharded stream merges per barrier interval in
+            // timestamp-then-shard order, which may permute same-instant
+            // lines relative to sequential emission -- compare as multisets.
+            lines.sort();
+            (report, lines)
+        };
+        let (ref_report, ref_lines) = run(None);
+        let (shard_report, shard_lines) = run(Some(4));
+        assert_eq!(ref_report, shard_report);
+        assert_eq!(ref_report.timeline, shard_report.timeline);
+        assert_eq!(ref_lines, shard_lines);
+    }
+
+    #[test]
+    fn serial_shards_and_phase_clock_do_not_change_results() {
+        let clock = Arc::new(mempod_telemetry::PhaseClock::new(4));
+        let cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+        let timed = Simulator::new(cfg)
+            .expect("valid")
+            .with_shards(4)
+            .with_serial_shards(true)
+            .with_phase_clock(Arc::clone(&clock))
+            .run(&demo_trace(30_000));
+        assert_eq!(timed, run_reference_with(ManagerKind::MemPod, 30_000));
+        assert!(clock.barriers() > 0, "barriers were recorded");
+        assert!(clock.critical_path_ns() > 0);
+        assert_eq!(clock.shard_busy_ns().len(), 4);
+    }
+
+    mod shard_count_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            /// The report is a pure function of the trace and manager --
+            /// never of the shard count.
+            #[test]
+            fn shard_count_never_changes_the_report(
+                shards in 1u32..=8,
+                n in 2_000usize..6_000,
+                kind_idx in 0usize..3,
+            ) {
+                let kind = [
+                    ManagerKind::MemPod,
+                    ManagerKind::NoMigration,
+                    ManagerKind::HbmOnly,
+                ][kind_idx];
+                let reference = run_reference_with(kind, n);
+                let sharded = run_sharded_with(kind, n, shards);
+                prop_assert_eq!(reference, sharded);
+            }
+        }
     }
 
     #[test]

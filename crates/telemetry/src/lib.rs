@@ -36,11 +36,13 @@
 
 mod event;
 mod metrics;
+mod phase;
 mod ring;
 mod sink;
 
 pub use event::{Event, EventKind};
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry, LOG2_BUCKETS};
+pub use phase::PhaseClock;
 pub use ring::{EpochSnapshot, SnapshotRing};
 pub use sink::{EventSink, FileSink, MemorySink, NullSink};
 
@@ -102,14 +104,46 @@ impl Telemetry {
         self.enabled
     }
 
+    /// Whether [`event`](Telemetry::event) actually records anything:
+    /// enabled *and* the sink keeps lines. Sharded producers use this to
+    /// skip buffering events that a barrier-time merge would only discard.
+    #[inline]
+    pub fn wants_events(&self) -> bool {
+        self.enabled && self.sink.wants_lines()
+    }
+
     /// Emits a structured event (no-op when disabled; serialization is
     /// skipped when the sink discards lines).
     pub fn event(&mut self, t_ps: u64, kind: EventKind) {
-        if !self.enabled || !self.sink.wants_lines() {
+        if !self.wants_events() {
             return;
         }
         let line = Event::new(t_ps, kind).to_jsonl();
         self.sink.emit(&line);
+    }
+
+    /// Drains per-shard event buffers (indexed by shard id) and emits them
+    /// merged in timestamp-then-shard-id order; ties beyond that keep each
+    /// shard's own emission order (the sort is stable). This is the
+    /// deterministic barrier-time merge of the sharded event loop: the
+    /// resulting stream depends only on simulated time and the shard map,
+    /// never on thread scheduling. Buffers are cleared even when the sink
+    /// discards lines.
+    pub fn emit_merged(&mut self, shard_events: &mut [Vec<(u64, EventKind)>]) {
+        if !self.wants_events() {
+            for buf in shard_events.iter_mut() {
+                buf.clear();
+            }
+            return;
+        }
+        let mut all: Vec<(u64, usize, EventKind)> = Vec::new();
+        for (shard, buf) in shard_events.iter_mut().enumerate() {
+            all.extend(buf.drain(..).map(|(t, kind)| (t, shard, kind)));
+        }
+        all.sort_by_key(|&(t, shard, _)| (t, shard));
+        for (t, _, kind) in all {
+            self.event(t, kind);
+        }
     }
 
     /// Records an epoch snapshot: pushes it into the ring and streams it to
@@ -150,6 +184,44 @@ mod tests {
         tel.snapshot(EpochSnapshot::empty(3, 300));
         assert_eq!(tel.ring.total_pushed(), 1);
         assert_eq!(tel.ring.latest().unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn merged_emission_orders_by_time_then_shard() {
+        let sink = MemorySink::new();
+        let lines = sink.handle();
+        let mut tel = Telemetry::with_sink(Box::new(sink));
+        let mut buffers = vec![
+            vec![
+                (30, EventKind::MetaMissBurst { len: 1 }),
+                (10, EventKind::MetaMissBurst { len: 2 }),
+            ],
+            vec![
+                (10, EventKind::MetaMissBurst { len: 3 }),
+                (20, EventKind::MetaMissBurst { len: 4 }),
+            ],
+        ];
+        tel.emit_merged(&mut buffers);
+        assert!(buffers.iter().all(Vec::is_empty));
+        let lines = lines.lock().unwrap();
+        let lens: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                let v: serde_json::Value = serde_json::from_str(l).expect("json");
+                v["kind"]["MetaMissBurst"]["len"].as_u64().expect("len")
+            })
+            .collect();
+        // t=10 shard 0 before t=10 shard 1, then t=20, then t=30.
+        assert_eq!(lens, vec![2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn merged_emission_clears_buffers_even_without_a_sink() {
+        let mut tel = Telemetry::null();
+        assert!(!tel.wants_events());
+        let mut buffers = vec![vec![(5, EventKind::MetaMissBurst { len: 9 })]];
+        tel.emit_merged(&mut buffers);
+        assert!(buffers[0].is_empty());
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub use addr::{Addr, FrameId, LineId, PageId};
 pub use config::{SystemConfig, TrackerKind};
 pub use convert::ConvertError;
 pub use error::GeometryError;
-pub use geometry::{Geometry, Tier, LINE_SIZE, PAGE_SIZE};
+pub use geometry::{Geometry, Tier, LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 pub use request::{AccessKind, CoreId, MemRequest, RequestId};
 pub use time::{Clock, Picos};

@@ -51,6 +51,29 @@ print(f\"BENCH_telemetry.smoke.json OK: {t['overhead_pct']:+.2f}% overhead\")
 }
 step "bench_sched --smoke" bench_smoke
 
+# Sharded-simulator smoke: the scaling benchmark must run (asserting
+# every sharded run bit-identical to the sequential reference before
+# timing), and emit valid JSON with per-shard-count critical-path and
+# wall speedups (full-scale numbers live in BENCH_parallel.json;
+# refresh with `cargo run --release -p mempod-bench --bin
+# bench_parallel`).
+parallel_smoke() {
+    cargo run -q --release -p mempod-bench --bin bench_parallel --offline -- \
+        --smoke --out BENCH_parallel.smoke.json
+    python3 -c "
+import json
+d = json.load(open('BENCH_parallel.smoke.json'))
+assert d['bench'] == 'parallel_shards' and d['results'], 'malformed benchmark JSON'
+for r in d['results']:
+    for field in ('shards', 'wall_ns', 'critical_path_ns',
+                  'speedup_critical', 'speedup_wall'):
+        assert field in r, f'result missing {field}'
+assert d['speedup_at_4'] is not None, 'no 4-shard sample'
+print(f\"BENCH_parallel.smoke.json OK: {d['speedup_at_4']:.2f}x critical-path at 4 shards\")
+"
+}
+step "bench_parallel --smoke" parallel_smoke
+
 # Timeline smoke: simrun must stream a per-epoch JSONL timeline on a
 # Table 3 mix with the fields the report tooling consumes — strictly
 # increasing epochs, per-pod migration deltas, manager (MEA) counters,

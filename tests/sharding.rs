@@ -1,0 +1,82 @@
+//! Differential tests for the sharded event loop: under migration storms,
+//! any accepted shard count must reproduce the sequential report bit for
+//! bit, for every migrating manager.
+
+use mempod_suite::core::ManagerKind;
+use mempod_suite::dram::{DramTiming, Interleave, MemLayout};
+use mempod_suite::sim::{SimConfig, SimReport, Simulator};
+use mempod_suite::trace::{TraceGenerator, WorkloadSpec};
+use mempod_suite::types::{Geometry, Picos, SystemConfig};
+
+fn storm_run(sys: &SystemConfig, kind: ManagerKind, n: usize, shards: u32) -> SimReport {
+    // A hot/cold working set churns enough pages past the trackers to keep
+    // every epoch's migration budget busy — the storm the shard barriers
+    // have to serialize correctly.
+    let t = TraceGenerator::new(WorkloadSpec::hotcold_demo(), 97).take_requests(n, &sys.geometry);
+    Simulator::new(SimConfig::new(sys.clone(), kind))
+        .expect("valid")
+        .with_shards(shards)
+        .run(&t)
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (4 managers x 4 shard counts x 60k requests); run with --features slow-tests"
+)]
+fn migration_storm_reports_are_identical_across_shard_counts() {
+    let sys = SystemConfig::tiny();
+    for kind in [
+        ManagerKind::MemPod,
+        ManagerKind::Hma,
+        ManagerKind::Thm,
+        ManagerKind::Cameo,
+    ] {
+        let reference = storm_run(&sys, kind, 60_000, 1);
+        assert!(
+            reference.migration.migrations > 0,
+            "{kind}: the storm must actually migrate"
+        );
+        for shards in [2u32, 4, 8] {
+            let sharded = storm_run(&sys, kind, 60_000, shards);
+            assert_eq!(reference, sharded, "{kind} diverged at {shards} shards");
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "slow (2 x 50k-request runs on an 8-pod system); run with --features slow-tests"
+)]
+fn eight_pod_system_shards_eight_ways() {
+    // The tiny system caps at 4 shards (4 slow channels, 4 pods); an 8-pod
+    // geometry over 8+8 channels exercises the widest split.
+    let mut sys = SystemConfig::tiny();
+    sys.geometry = Geometry::new(4 << 20, 32 << 20, 8).expect("8 pods divide the tiny capacities");
+    let geo = sys.geometry;
+    let layout = MemLayout {
+        fast_frames: geo.fast_pages(),
+        slow_frames: geo.slow_pages(),
+        fast_channels: 8,
+        slow_channels: 8,
+        fast_timing: DramTiming::hbm(),
+        slow_timing: DramTiming::ddr4_1600(),
+        ctrl_latency: Picos::from_ns(10),
+        interleave: Interleave::PageFrame,
+    };
+    let trace = TraceGenerator::new(WorkloadSpec::hotcold_demo(), 97).take_requests(50_000, &geo);
+    let run = |shards: u32| {
+        Simulator::with_layout(SimConfig::new(sys.clone(), ManagerKind::MemPod), layout)
+            .expect("valid")
+            .with_shards(shards)
+            .run(&trace)
+    };
+    let eight = Simulator::with_layout(SimConfig::new(sys.clone(), ManagerKind::MemPod), layout)
+        .expect("valid")
+        .with_shards(8);
+    assert_eq!(eight.effective_shards(), 8, "8 pods over 8+8 channels");
+    let reference = run(1);
+    assert!(reference.migration.migrations > 0);
+    assert_eq!(reference, eight.run(&trace));
+}
