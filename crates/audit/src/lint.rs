@@ -12,6 +12,9 @@
 //! Rule families (each in [`crate::rules`]):
 //!
 //! * `hot-path-panic` — panicking constructs in derived hot-path files.
+//! * `recovery-path-panic` — panicking constructs in recovery code
+//!   (rollback/recover/degrade/abort functions, any file; all of
+//!   `crates/faults`).
 //! * `hot-path-print` — ad-hoc printing in the simulation pipeline.
 //! * `lossy-cast` — bare integer `as` casts in address-arithmetic files.
 //! * `missing-docs` / `missing-debug` — pub-API coverage in the API crates.
@@ -325,6 +328,11 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> LintReport {
             rules::clock::check(rel, &file.parsed, &mut violations);
             rules::interior_mut::check(rel, &file.parsed, &mut violations);
         }
+        // Recovery code is scrutinized everywhere, not just on the derived
+        // hot path: a rollback helper in a cold module still runs exactly
+        // when a fault has fired.
+        let whole_crate = file.crate_name == "mempod-faults";
+        rules::recovery::check(rel, &file.parsed, whole_crate, &mut violations);
         if coverage.print.contains(rel) {
             rules::print::check(rel, &file.parsed, &mut violations);
         }

@@ -4,6 +4,9 @@
 //!
 //! Pattern rules (scoped by the *derived* coverage sets):
 //! * [`panic`] — panicking constructs banned on the migration hot path.
+//! * [`recovery`] — panicking constructs banned in recovery code:
+//!   rollback/recover/degrade/abort functions anywhere, and the whole
+//!   `mempod-faults` crate.
 //! * [`print`] — ad-hoc printing banned in the simulation pipeline.
 //! * [`cast`] — bare integer `as` casts banned in address arithmetic.
 //! * [`api`] — doc/`Debug` coverage of the public API crates.
@@ -34,6 +37,7 @@ pub mod interior_mut;
 pub mod nondet;
 pub mod panic;
 pub mod print;
+pub mod recovery;
 pub mod units;
 
 use crate::lint::Violation;

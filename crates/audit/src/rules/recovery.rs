@@ -1,0 +1,146 @@
+//! `recovery-path-panic`: panicking conveniences are forbidden inside
+//! recovery code — functions whose names mark them as rollback / recover /
+//! degrade / abort paths, plus the whole `mempod-faults` crate. These
+//! paths run precisely when something has already gone wrong; an
+//! `.unwrap()` there turns a survivable injected fault into a dead
+//! simulation, defeating the recovery machinery it lives in.
+
+use crate::lexer::TokenKind;
+use crate::lint::Violation;
+use crate::parser::{ItemKind, ParsedFile};
+
+/// Macros that panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Name fragments that mark a function as a recovery path.
+const RECOVERY_MARKERS: &[&str] = &["rollback", "recover", "degrade", "abort"];
+
+/// Whether a function name marks a recovery/rollback code path.
+fn is_recovery_fn(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    RECOVERY_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// Runs the rule over one file. `whole_crate` widens the scope from
+/// recovery-named functions to every non-test function (used for
+/// `crates/faults`, whose entire surface is fault-plan machinery).
+pub fn check(rel: &str, pf: &ParsedFile, whole_crate: bool, out: &mut Vec<Violation>) {
+    // Body token ranges under scrutiny, with the owning function's name.
+    let ranges: Vec<(usize, usize, &str)> = pf
+        .items
+        .iter()
+        .filter(|it| {
+            it.kind == ItemKind::Fn && !it.cfg_test && (whole_crate || is_recovery_fn(&it.name))
+        })
+        .filter_map(|it| it.body_tokens.map(|(a, b)| (a, b, it.qual.as_str())))
+        .collect();
+    if ranges.is_empty() {
+        return;
+    }
+    let exempt = pf.exempt_ranges();
+    let src = &pf.src;
+    let toks = &pf.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || pf.is_exempt(&exempt, t.start) {
+            continue;
+        }
+        // Innermost enclosing scrutinized function (nested fns shadow
+        // their parent, and pick-one keeps each token reported once).
+        let Some((_, _, qual)) = ranges
+            .iter()
+            .filter(|(a, b, _)| (*a..*b).contains(&i))
+            .max_by_key(|(a, _, _)| *a)
+        else {
+            continue;
+        };
+        let text = t.text(src);
+        let next_is = |p: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(src, p));
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct(src, ".");
+        let construct = if prev_is_dot && text == "unwrap" && next_is("(") {
+            Some(".unwrap()")
+        } else if prev_is_dot && text == "expect" && next_is("(") {
+            Some(".expect(…)")
+        } else if PANIC_MACROS.contains(&text) && next_is("!") {
+            Some(text)
+        } else {
+            None
+        };
+        if let Some(c) = construct {
+            out.push(super::violation(
+                rel,
+                pf,
+                t.line,
+                t.start,
+                "recovery-path-panic",
+                format!(
+                    "`{c}` inside recovery path `{qual}`: this code runs after \
+                     a fault, so panicking here turns a survivable abort into \
+                     a dead run — handle the case or propagate an error"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, whole: bool) -> Vec<Violation> {
+        let pf = ParsedFile::parse(src);
+        let mut v = Vec::new();
+        check("f.rs", &pf, whole, &mut v);
+        v
+    }
+
+    #[test]
+    fn flags_panics_in_recovery_named_fns_only() {
+        let v = run(
+            "fn rollback_migration(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             fn degrade() { panic!(\"boom\") }\n\
+             fn abort_attempt(r: Result<u8, u8>) { r.expect(\"r\"); }\n\
+             fn unrelated(x: Option<u8>) -> u8 { x.unwrap() }",
+            false,
+        );
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, [1, 2, 3], "{v:?}");
+        assert!(v[0].message.contains("rollback_migration"));
+    }
+
+    #[test]
+    fn whole_crate_mode_covers_every_fn() {
+        let v = run("fn plain(x: Option<u8>) -> u8 { x.unwrap() }", true);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn recovery_markers_match_within_longer_names_and_methods() {
+        let v = run(
+            "struct S;\nimpl S {\n  fn try_recover_state(&self) { self.x.unwrap(); }\n}",
+            false,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("S::try_recover_state"));
+    }
+
+    #[test]
+    fn tests_strings_and_clean_recovery_fns_pass() {
+        let v = run(
+            "fn rollback() -> Result<u8, u8> { Err(3) } // .unwrap()\n\
+             fn recover_label() -> &'static str { \"panic!(\" }\n\
+             #[cfg(test)]\nmod tests {\n  fn abort_case() { Some(1).unwrap(); }\n}",
+            false,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_panicking_cousins_do_not_match() {
+        assert!(run(
+            "fn degrade(o: Option<u8>, r: Result<u8, u8>) { o.unwrap_or(3); r.expect_err(\"e\"); }",
+            false
+        )
+        .is_empty());
+    }
+}

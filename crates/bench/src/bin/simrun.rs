@@ -11,13 +11,21 @@
 //! (plus structured migration/stall events) to `PATH`: one `Epoch` line per
 //! 50 µs window carrying per-pod migration counts, MEA evictions, queue
 //! depth p50/p99, the fast/slow tier service split, and AMMAT-so-far.
+//!
+//! With `--faults PPM` a deterministic fault plan injects mid-swap
+//! migration aborts (and, via `--channel-faults PPM`, channel timing
+//! faults) at that rate; aborted migrations retry with simulated-time
+//! exponential backoff up to three times, then roll back. `--fault-seed N`
+//! varies the plan without touching the trace. Fault outcomes are a pure
+//! function of the seed, so reruns — at any shard count — reproduce the
+//! report bit for bit.
 
 use mempod_bench::{write_json, Opts};
 use mempod_core::ManagerKind;
 use mempod_sim::Simulator;
 use mempod_telemetry::{FileSink, Telemetry};
 use mempod_trace::{TraceGenerator, WorkloadSpec};
-use mempod_types::Picos;
+use mempod_types::{FaultConfig, Picos};
 
 fn parse_manager(s: &str) -> ManagerKind {
     match s.to_ascii_lowercase().as_str() {
@@ -45,6 +53,9 @@ fn main() {
     let mut future = false;
     let mut smoke = false;
     let mut timeline: Option<String> = None;
+    let mut fault_ppm: Option<u32> = None;
+    let mut channel_fault_ppm: Option<u32> = None;
+    let mut fault_seed = 1u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -61,6 +72,9 @@ fn main() {
             "--future" => future = true,
             "--smoke" => smoke = true,
             "--timeline" => timeline = Some(val()),
+            "--faults" => fault_ppm = Some(val().parse().expect("integer")),
+            "--channel-faults" => channel_fault_ppm = Some(val().parse().expect("integer")),
+            "--fault-seed" => fault_seed = val().parse().expect("integer"),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -91,6 +105,13 @@ fn main() {
     }
     if future {
         cfg = cfg.into_future_system();
+    }
+    if fault_ppm.is_some() || channel_fault_ppm.is_some() {
+        let mut f = FaultConfig::quiet(fault_seed);
+        f.migration_abort_ppm = fault_ppm.unwrap_or(0);
+        f.migration_max_retries = 3;
+        f.channel_fault_ppm = channel_fault_ppm.unwrap_or(0);
+        cfg = cfg.with_faults(f);
     }
 
     let mut sim = Simulator::new(cfg).expect("valid configuration");
@@ -137,6 +158,16 @@ fn main() {
                     .map(|t| t.lines().filter(|l| l.contains("\"Epoch\"")).count())
                     .unwrap_or(0)
             )
+        );
+    }
+    if fault_ppm.is_some() || channel_fault_ppm.is_some() {
+        println!(
+            "faults     : {} migrations faulted ({} aborts, {} retries, {} rolled back), {} channel faults",
+            report.faults.migration_faults,
+            report.faults.migration_aborts,
+            report.faults.migration_retries,
+            report.migration.aborted,
+            report.faults.channel_faults
         );
     }
     if let Some(meta) = report.meta_cache {

@@ -163,6 +163,23 @@ impl MemoryManager for CameoManager {
         frame
     }
 
+    /// Swaps the displaced line (`page_b`/`line_start`) back into its
+    /// congruence group's fast slot, reversing the event-triggered swap,
+    /// and forgets the aborted line's pending-touch state (it is no longer
+    /// fast-resident, so it can neither be touched there nor count as a
+    /// wasted swap-in).
+    fn rollback_migration(&mut self, m: &Migration) -> bool {
+        let line = m.page_a.0 * LINES_PER_PAGE + u64::from(m.line_start);
+        let displaced_line = m.page_b.0 * LINES_PER_PAGE + u64::from(m.line_start);
+        let (group, member) = self.segs.group_of(displaced_line);
+        if self.segs.swap_into_fast(group, member).is_none() {
+            return false; // already fast: nothing to reverse
+        }
+        self.pending_touch.remove(&line);
+        self.stats.aborted += 1;
+        true
+    }
+
     /// CAMEO's structural invariants: every diverged congruence-group
     /// permutation is still a bijection over its slots, every line awaiting
     /// its first fast-resident touch actually resides in a fast slot, and
@@ -306,6 +323,24 @@ mod tests {
     fn llp_disabled_by_default() {
         let mgr = CameoManager::new(&cfg());
         assert!(mgr.llp_stats().is_none());
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_swap_map() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = CameoManager::new(&cfg);
+        let slow_line = geo.fast_lines() + 5;
+        let out = mgr.on_access(&req_line(slow_line, 0));
+        let m = out.migrations[0];
+        assert!(mgr.rollback_migration(&m));
+        // Both lines are home again and the permutation is clean.
+        assert_eq!(mgr.segs.location_of(slow_line), slow_line);
+        assert!(mgr.segs.is_fast(5));
+        assert!(mgr.segs.check_invariant());
+        assert!(mgr.pending_touch.is_empty(), "aborted line is not resident");
+        assert_eq!(mgr.migration_stats().aborted, 1);
+        assert!(!mgr.rollback_migration(&m), "nothing left to reverse");
     }
 
     #[test]

@@ -173,6 +173,15 @@ impl MemoryManager for HmaManager {
         self.remap.frame_of(page)
     }
 
+    /// Re-applies the swap's transposition: the OS page table returns to
+    /// its pre-migration state (the cached structure is the counter array,
+    /// which the rollback does not touch).
+    fn rollback_migration(&mut self, m: &Migration) -> bool {
+        self.remap.swap_frames(m.frame_a, m.frame_b);
+        self.stats.aborted += 1;
+        true
+    }
+
     /// HMA's structural invariants: the OS page table stays a bijection
     /// with a consistent inverse, every fast frame round-trips through it
     /// (frame ownership is conserved — no page is lost or duplicated by an
@@ -329,6 +338,22 @@ mod tests {
         let second = mgr.on_access(&req_at(0, Picos::from_ms(2) + Picos::from_us(70)));
         assert!(second.migrations.is_empty());
         assert_eq!(mgr.migration_stats().intervals, 2);
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_swap_map() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = HmaManager::new(&cfg);
+        for k in 0..100u64 {
+            mgr.on_access(&req_at(geo.fast_pages() + 1, Picos::from_ns(k * 1000)));
+        }
+        let out = mgr.on_access(&req_at(0, Picos::from_ms(1) + Picos::from_us(70)));
+        let m = out.migrations[0];
+        assert!(mgr.rollback_migration(&m));
+        assert_eq!(mgr.frame_of_page(m.page_a), m.frame_a);
+        assert_eq!(mgr.frame_of_page(m.page_b), m.frame_b);
+        assert_eq!(mgr.migration_stats().aborted, 1);
     }
 
     #[test]

@@ -197,6 +197,10 @@ pub struct MigrationStats {
     pub per_pod_bytes: Vec<u64>,
     /// Migration intervals elapsed (for per-interval averages).
     pub intervals: u64,
+    /// Migrations rolled back after exhausting their fault-retry budget
+    /// (0 unless a fault plan injects migration aborts).
+    #[serde(default)]
+    pub aborted: u64,
 }
 
 impl MigrationStats {
@@ -246,6 +250,19 @@ pub trait MemoryManager {
     /// Where the given original page currently resides (for invariant
     /// checking in tests; implementations must answer without side effects).
     fn frame_of_page(&self, page: mempod_types::PageId) -> FrameId;
+
+    /// Undoes a migration this manager emitted, restoring the address map
+    /// to exactly its pre-swap state (the swap is a transposition, so the
+    /// rollback is the same transposition applied again). Called by the
+    /// simulator when an injected fault aborts the migration permanently,
+    /// *immediately* after the triggering batch was emitted and before any
+    /// later access consults the map. Returns whether the manager performed
+    /// a rollback; the default refuses, which suits the static baselines
+    /// (they never migrate, so there is nothing to roll back).
+    fn rollback_migration(&mut self, m: &Migration) -> bool {
+        let _ = m;
+        false
+    }
 
     /// States this manager's structural invariants against `auditor`
     /// (remap bijection, frame-ownership conservation, ...). Called at

@@ -237,6 +237,21 @@ impl MemoryManager for MemPodManager {
         self.remap.frame_of(page)
     }
 
+    /// Re-applies the swap's transposition, restoring both remap directions
+    /// ([`RemapTable::swap_frames`] is self-inverse), and invalidates the
+    /// pod's cached metadata entries for both pages — their in-memory remap
+    /// entries changed again.
+    fn rollback_migration(&mut self, m: &Migration) -> bool {
+        use mempod_types::convert::usize_from_u32;
+        self.remap.swap_frames(m.frame_a, m.frame_b);
+        if let (Some(caches), Some(pod)) = (&mut self.meta_caches, m.pod) {
+            caches[usize_from_u32(pod)].invalidate(m.page_a.0);
+            caches[usize_from_u32(pod)].invalidate(m.page_b.0);
+        }
+        self.stats.aborted += 1;
+        true
+    }
+
     /// Pods are independent migration domains (the paper's core structural
     /// claim): swaps are intra-pod and the remap is pod-preserving, both
     /// audited under `debug-invariants`.
@@ -452,6 +467,24 @@ mod tests {
             geo.tier_of_frame(mgr.frame_of_page(PageId(geo.fast_pages() + 4))),
             Tier::Fast
         );
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_swap_map() {
+        let mut cfg = ManagerConfig::tiny();
+        cfg.meta_cache_bytes = Some(4 * 1024);
+        let geo = cfg.geometry;
+        let mut mgr = MemPodManager::new(&cfg);
+        let slow_page = geo.fast_pages() + 4;
+        hammer(&mut mgr, slow_page, 50, Picos::ZERO);
+        let out = mgr.on_access(&req_at(slow_page, Picos::from_us(51)));
+        let m = out.migrations[0];
+        assert!(mgr.rollback_migration(&m));
+        // Both pages are exactly where they were before the swap.
+        assert_eq!(mgr.frame_of_page(m.page_a), m.frame_a);
+        assert_eq!(mgr.frame_of_page(m.page_b), m.frame_b);
+        assert!(mgr.remap.check_invariant());
+        assert_eq!(mgr.migration_stats().aborted, 1);
     }
 
     #[test]

@@ -136,6 +136,21 @@ impl MemoryManager for ThmManager {
         FrameId(self.segs.location_of(page.0))
     }
 
+    /// Swaps the displaced page (`page_b`) back into its segment's fast
+    /// slot. The original swap was the transposition (winner -> slot 0,
+    /// displaced -> winner's home), so swapping the displaced member fast
+    /// again reverses it exactly: the winner returns to its old slot.
+    fn rollback_migration(&mut self, m: &Migration) -> bool {
+        let group = m.frame_b.0; // the segment's fast frame == its group id
+        let (g, member) = self.segs.group_of(m.page_b.0);
+        debug_assert_eq!(g, group, "displaced page must belong to the segment");
+        if self.segs.swap_into_fast(group, member).is_none() {
+            return false; // already fast: nothing to reverse
+        }
+        self.stats.aborted += 1;
+        true
+    }
+
     /// THM's structural invariants: every diverged segment permutation is
     /// still a bijection over its slots, every competing counter belongs to
     /// a real segment, and byte accounting matches the page-swap cost of
@@ -294,6 +309,28 @@ mod tests {
             geo.tier_of_frame(mgr.frame_of_page(PageId(slow))),
             Tier::Slow
         );
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_swap_map() {
+        let cfg = cfg();
+        let geo = cfg.geometry;
+        let mut mgr = ThmManager::new(&cfg);
+        let page = geo.fast_pages() + 7;
+        for i in 0..4u64 {
+            mgr.on_access(&req_at(page, i));
+        }
+        let m = {
+            // The 4th access triggered the swap; re-derive its descriptor.
+            assert_eq!(mgr.frame_of_page(PageId(page)), FrameId(7));
+            Migration::page_swap(FrameId(page), FrameId(7), PageId(page), PageId(7), None)
+        };
+        assert!(mgr.rollback_migration(&m));
+        assert_eq!(mgr.frame_of_page(PageId(page)), FrameId(page));
+        assert_eq!(mgr.frame_of_page(PageId(7)), FrameId(7));
+        assert_eq!(mgr.migration_stats().aborted, 1);
+        // A second rollback of the same swap finds nothing to reverse.
+        assert!(!mgr.rollback_migration(&m));
     }
 
     #[test]

@@ -40,8 +40,10 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
+use mempod_faults::ChannelFaultStream;
 use mempod_telemetry::Log2Histogram;
-use mempod_types::Picos;
+use mempod_types::convert::usize_from_u32;
+use mempod_types::{ChannelFaultKind, Picos};
 use serde::{Deserialize, Serialize};
 
 use crate::timing::DramTiming;
@@ -152,6 +154,10 @@ pub struct ChannelStats {
     /// scheduler, O(depth) for the reference flat scan.
     #[serde(default)]
     pub sched_scan_ops: u64,
+    /// Injected channel faults applied (at most one per fault window; 0
+    /// unless a fault stream is attached).
+    #[serde(default)]
+    pub faults_injected: u64,
 }
 
 impl ChannelStats {
@@ -202,7 +208,17 @@ impl ChannelStats {
         self.refreshes += other.refreshes;
         self.sched_decisions += other.sched_decisions;
         self.sched_scan_ops += other.sched_scan_ops;
+        self.faults_injected += other.faults_injected;
     }
+}
+
+/// Per-channel fault-injection state: the deterministic stream plus the
+/// last window already applied (each fired window perturbs the channel
+/// exactly once, at its first scheduling decision).
+#[derive(Debug, Clone)]
+struct ChannelFaultState {
+    stream: ChannelFaultStream,
+    applied_slot: Option<u64>,
 }
 
 /// Cumulative telemetry observations for one channel, populated only when
@@ -283,6 +299,8 @@ pub struct Channel {
     /// Boxed so the disabled case costs one pointer in the channel and one
     /// branch per scheduling decision.
     probe: Option<Box<ChannelProbe>>,
+    /// Optional fault-injection stream (same boxing rationale as `probe`).
+    faults: Option<Box<ChannelFaultState>>,
 }
 
 impl Channel {
@@ -311,6 +329,7 @@ impl Channel {
             #[cfg(any(test, feature = "reference-sched"))]
             reference_mode: false,
             probe: None,
+            faults: None,
         }
     }
 
@@ -325,6 +344,22 @@ impl Channel {
     /// The probe's cumulative observations, if one is attached.
     pub fn probe(&self) -> Option<&ChannelProbe> {
         self.probe.as_deref()
+    }
+
+    /// Attaches a deterministic fault stream (idempotent: the first stream
+    /// wins, so re-attachment cannot reset the applied-window cursor).
+    pub fn attach_faults(&mut self, stream: ChannelFaultStream) {
+        if self.faults.is_none() {
+            self.faults = Some(Box::new(ChannelFaultState {
+                stream,
+                applied_slot: None,
+            }));
+        }
+    }
+
+    /// Whether a fault stream is attached.
+    pub fn faults_attached(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// The channel's timing parameters.
@@ -516,6 +551,13 @@ impl Channel {
             if decision >= self.next_refresh {
                 self.fast_forward_refresh(decision);
             }
+            // Injected channel faults perturb the state once per fired
+            // fault window, at the window's first scheduling decision —
+            // shared by the indexed and reference pick paths, so the two
+            // schedulers stay bit-identical under faults too.
+            if self.faults.is_some() {
+                self.apply_fault_window(decision);
+            }
             // `min_arrival <= decision` guarantees at least one arrived
             // request, so `pick` finds a candidate; the `else` arms are
             // unreachable, but if the invariant ever breaks they count the
@@ -583,6 +625,54 @@ impl Channel {
             }
         }
         self.next_refresh = last + interval;
+    }
+
+    /// Applies the injected fault (if any) for the window containing
+    /// `decision`, at most once per window. Every perturbation only pushes
+    /// channel state *forward* in time (bus blackout, bank busy-until,
+    /// closed rows), so scheduling decisions stay monotone and the
+    /// `debug-invariants` time audit holds under any fault plan.
+    fn apply_fault_window(&mut self, decision: Picos) {
+        let Some(state) = self.faults.as_deref_mut() else {
+            return;
+        };
+        let Some(fault) = state.stream.window_at(decision) else {
+            return;
+        };
+        if state.applied_slot == Some(fault.slot) {
+            return; // this window's fault already landed
+        }
+        state.applied_slot = Some(fault.slot);
+        self.stats.faults_injected += 1;
+        match fault.kind {
+            ChannelFaultKind::LatencySpike(extra) => {
+                // Transient link glitch: the data bus blacks out for
+                // `extra` beyond whatever burst is in flight.
+                self.bus_free_at = self.bus_free_at.max(decision) + extra;
+            }
+            ChannelFaultKind::StuckBank(raw) => {
+                // One bank wedges until the fault window ends: its open
+                // row is lost and no command lands before `slot_end`.
+                let idx = usize_from_u32(raw) % self.banks.len();
+                let bank = &mut self.banks[idx];
+                bank.open_row = None;
+                bank.ready_at = bank.ready_at.max(fault.slot_end);
+            }
+            ChannelFaultKind::RefreshStorm(k) => {
+                // `k` back-to-back extra all-bank refreshes.
+                let blackout_end = decision + self.timing.refresh_time() * u64::from(k);
+                for bank in &mut self.banks {
+                    bank.open_row = None;
+                    bank.ready_at = bank.ready_at.max(blackout_end);
+                }
+                self.stats.refreshes += u64::from(k);
+                if self.queued > 0 {
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.stalled_refreshes += u64::from(k);
+                    }
+                }
+            }
+        }
     }
 
     /// Scheduling decisions that went backwards in time (must be 0; only
@@ -1124,6 +1214,50 @@ mod tests {
         ch.enqueue(ReqToken(2), 0, 5, false, ch.now());
         let _ = ch.drain_all();
         assert_eq!(ch.stats().refreshes, expected, "no spurious extra refresh");
+    }
+
+    #[test]
+    fn injected_faults_perturb_timing_once_per_window_and_deterministically() {
+        use mempod_faults::FaultPlan;
+        use mempod_types::FaultConfig;
+
+        let mut cfg = FaultConfig::quiet(123);
+        cfg.channel_fault_ppm = 1_000_000; // every window fires
+        cfg.channel_window = Picos::from_us(1);
+        let plan = FaultPlan::new(cfg);
+
+        let drive = |ch: &mut Channel| {
+            for i in 0..64u64 {
+                let arrival = Picos::from_ns(200 * i);
+                ch.enqueue(ReqToken(i), (i % 16) as u32, i % 4, i % 3 == 0, arrival);
+            }
+            ch.drain_all()
+        };
+
+        let mut clean = hbm_channel();
+        let clean_done = drive(&mut clean);
+
+        let mut faulty = hbm_channel();
+        faulty.attach_faults(plan.channel_stream(0));
+        // Re-attachment is a no-op: it must not reset the window cursor.
+        faulty.attach_faults(plan.channel_stream(0));
+        let faulty_done = drive(&mut faulty);
+
+        // Faults perturb timing but never drop requests.
+        assert_eq!(faulty_done.len(), clean_done.len());
+        assert!(faulty.stats().faults_injected >= 1);
+        assert!(faulty.stats().total_latency >= clean.stats().total_latency);
+        // Each crossed window applies at most once.
+        let windows = faulty.now().as_ps() / Picos::from_us(1).as_ps() + 1;
+        assert!(faulty.stats().faults_injected <= windows);
+
+        // A second identically-configured channel reproduces the run
+        // bit-for-bit: the stream is a pure function of (seed, channel, slot).
+        let mut replay = hbm_channel();
+        replay.attach_faults(plan.channel_stream(0));
+        let replay_done = drive(&mut replay);
+        assert_eq!(replay_done, faulty_done);
+        assert_eq!(replay.stats(), faulty.stats());
     }
 
     #[test]

@@ -423,6 +423,22 @@ impl MemorySystem {
         self.channels.iter().any(|ch| ch.probe().is_some())
     }
 
+    /// Attaches each channel's deterministic fault stream from `plan`
+    /// (idempotent). Streams are keyed by *global* channel index, which is
+    /// reconstructable on a shard view (`shard_id + i * shard_count`), so a
+    /// sharded system draws exactly the faults the unsharded one would.
+    pub fn attach_faults(&mut self, plan: &mempod_faults::FaultPlan) {
+        for i in 0..self.channels.len() {
+            let global = self.shard_id + u32_from_u64(u64_from_usize(i)) * self.shard_count;
+            self.channels[i].attach_faults(plan.channel_stream(global));
+        }
+    }
+
+    /// Whether fault streams are attached.
+    pub fn faults_attached(&self) -> bool {
+        self.channels.iter().any(Channel::faults_attached)
+    }
+
     /// Cumulative probe observations merged across all channels (`None`
     /// when no probe is attached). Epoch-level consumers diff successive
     /// summaries to derive per-window queue-depth percentiles.

@@ -3,7 +3,7 @@
 
 use mempod_core::{ManagerConfig, ManagerKind};
 use mempod_dram::{DramTiming, MemLayout};
-use mempod_types::{Picos, SystemConfig, TrackerKind};
+use mempod_types::{FaultConfig, Picos, SystemConfig, TrackerKind};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -26,6 +26,12 @@ pub enum SimError {
         /// Index of the job whose result never arrived.
         job: usize,
     },
+    /// The runner watchdog cancelled a job that exceeded its hard per-job
+    /// timeout; completed jobs in the same batch keep their reports.
+    JobTimedOut {
+        /// Index of the cancelled job.
+        job: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +43,9 @@ impl fmt::Display for SimError {
             ),
             SimError::WorkerLost { job } => {
                 write!(f, "parallel runner lost the result of job {job}")
+            }
+            SimError::JobTimedOut { job } => {
+                write!(f, "watchdog cancelled job {job} after its hard timeout")
             }
         }
     }
@@ -67,6 +76,11 @@ pub struct SimConfig {
     pub fast_timing: DramTiming,
     /// Slow-tier DRAM timing.
     pub slow_timing: DramTiming,
+    /// Deterministic fault-injection plan seed and rates (`None`, the
+    /// default, runs fault-free; `default` keeps pre-fault configs
+    /// deserializable).
+    #[serde(default)]
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -100,7 +114,17 @@ impl SimConfig {
             mgr,
             fast_timing: DramTiming::hbm(),
             slow_timing: DramTiming::ddr4_1600(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan to the run. Fault decisions are a
+    /// pure function of the plan's seed and each event's identity, so a
+    /// faulted run stays bit-identical across shard counts and replays.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Switches to the Fig. 10 future system: 4 GHz HBM + DDR4-2400, with

@@ -41,9 +41,10 @@ mod shard;
 pub mod simulator;
 
 pub use config::{SimConfig, SimError};
-pub use metrics::{geometric_mean, normalize_to, SimReport};
+pub use metrics::{geometric_mean, normalize_to, FaultSummary, SimReport};
 pub use runner::{
-    try_run_jobs, try_run_jobs_with_progress, Job, JobProgress, JobState, RunProgress,
+    try_run_jobs, try_run_jobs_with_progress, try_run_jobs_with_watchdog, Job, JobProgress,
+    JobState, RunProgress, WatchdogConfig,
 };
 pub use simulator::Simulator;
 

@@ -6,6 +6,32 @@ use mempod_telemetry::EpochSnapshot;
 use mempod_types::Picos;
 use serde::{Deserialize, Serialize};
 
+/// Fault-injection and recovery accounting for one run.
+///
+/// All zeros / false for a run without an active fault plan, so the
+/// summary is free to carry unconditionally on every report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Migrations the fault plan selected for at least one mid-swap abort.
+    pub migration_faults: u64,
+    /// Retry attempts launched after an abort (backoff in simulated time).
+    pub migration_retries: u64,
+    /// Individual abort events (one per failed attempt).
+    pub migration_aborts: u64,
+    /// Channel-level timing faults injected (latency spikes, stuck banks,
+    /// refresh storms).
+    pub channel_faults: u64,
+    /// Shard worker panics caught at the epoch barrier.
+    pub shard_panics: u64,
+    /// Whether the sharded engine abandoned its state and restarted on the
+    /// sequential reference path.
+    pub degraded_to_sequential: bool,
+    /// Whether the run was cancelled early (watchdog or external token);
+    /// a cancelled report covers only the requests admitted before the
+    /// cancellation was observed.
+    pub cancelled: bool,
+}
+
 /// Everything one simulation run measured.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -29,6 +55,10 @@ pub struct SimReport {
     pub injected_meta_requests: u64,
     /// DRAM-level statistics (row hits, tier service split, ...).
     pub mem_stats: SystemStats,
+    /// Fault-injection and recovery accounting (all zeros when no fault
+    /// plan was active; `default` keeps pre-fault reports deserializable).
+    #[serde(default)]
+    pub faults: FaultSummary,
     /// Per-epoch snapshots retained by the telemetry ring (empty unless the
     /// run had telemetry attached; the full series streams to the JSONL
     /// sink). Skipped in serialized reports — the timeline's serialized
@@ -51,6 +81,7 @@ impl SimReport {
             injected_migration_requests: 0,
             injected_meta_requests: 0,
             mem_stats: SystemStats::default(),
+            faults: FaultSummary::default(),
             timeline: Vec::new(),
         }
     }

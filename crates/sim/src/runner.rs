@@ -11,7 +11,7 @@
 //! [`SimError`]; the panicking convenience wrapper
 //! [`run_jobs`](crate::run_jobs) lives at the crate surface instead.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -229,6 +229,22 @@ impl RunProgress {
     }
 }
 
+/// Hard-timeout policy for a watchdog-monitored run.
+///
+/// The watchdog escalates beyond [`RunProgress::stragglers`] (report-only):
+/// a job running longer than `hard_timeout_ms` is *cancelled* through its
+/// simulator's cooperative cancellation token and surfaced as
+/// [`SimError::JobTimedOut`] in the partial-results summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How often the monitor samples job states, in milliseconds
+    /// (clamped to at least 1).
+    pub poll_ms: u64,
+    /// A running job is cancelled once it has been running for more than
+    /// this many wall-clock milliseconds.
+    pub hard_timeout_ms: u64,
+}
+
 /// Runs all jobs on `threads` workers, returning reports in job order.
 ///
 /// # Errors
@@ -256,10 +272,47 @@ pub fn try_run_jobs_with_progress(
     threads: usize,
     progress: Option<Arc<RunProgress>>,
 ) -> Result<Vec<SimReport>, SimError> {
+    run_jobs_core(jobs, threads, progress, None)
+        .into_iter()
+        .collect()
+}
+
+/// [`try_run_jobs_with_progress`] under a hard-timeout watchdog, returning
+/// a *partial-results summary*: per-job `Result`s in job order, where jobs
+/// that finished keep their reports and jobs the watchdog cancelled come
+/// back as [`SimError::JobTimedOut`] — one slow job no longer forfeits the
+/// whole batch.
+///
+/// A progress board is created automatically when `progress` is `None`
+/// (the watchdog needs per-job running times to measure timeouts against).
+pub fn try_run_jobs_with_watchdog(
+    jobs: Vec<Job>,
+    threads: usize,
+    progress: Option<Arc<RunProgress>>,
+    watchdog: WatchdogConfig,
+) -> Vec<Result<SimReport, SimError>> {
+    let progress = match progress {
+        Some(board) => board,
+        None => RunProgress::for_jobs(&jobs),
+    };
+    run_jobs_core(jobs, threads, Some(progress), Some(watchdog))
+}
+
+/// Shared engine behind the `try_run_jobs*` family: scoped workers pull
+/// jobs off a shared counter; an optional watchdog thread polls the
+/// progress board and trips per-job cancellation tokens.
+fn run_jobs_core(
+    jobs: Vec<Job>,
+    threads: usize,
+    progress: Option<Arc<RunProgress>>,
+    watchdog: Option<WatchdogConfig>,
+) -> Vec<Result<SimReport, SimError>> {
     let threads = threads.max(1).min(jobs.len().max(1));
     let n = jobs.len();
     let jobs = Arc::new(jobs);
     let next = AtomicUsize::new(0);
+    let remaining = AtomicUsize::new(n);
+    let cancels: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
     let results: Mutex<Vec<Option<Result<SimReport, SimError>>>> =
         Mutex::new((0..n).map(|_| None).collect());
 
@@ -282,6 +335,10 @@ pub fn try_run_jobs_with_progress(
                         Some(slot) => sim.with_progress(Arc::clone(&slot.requests_done)),
                         None => sim,
                     };
+                    let sim = match (watchdog.is_some(), cancels.get(i)) {
+                        (true, Some(token)) => sim.with_cancel(Arc::clone(token)),
+                        _ => sim,
+                    };
                     sim.run(&job.trace)
                 });
                 if let Some(slot) = slot {
@@ -290,6 +347,27 @@ pub fn try_run_jobs_with_progress(
                     slot.state.store(STATE_DONE, Ordering::Release);
                 }
                 lock_unpoisoned(&results)[i] = Some(outcome);
+                remaining.fetch_sub(1, Ordering::Release);
+            });
+        }
+        if let (Some(w), Some(board)) = (watchdog, progress.as_deref()) {
+            // The monitor lives in the same scope, so it can never outlive
+            // the tokens; it exits as soon as the last job reports in.
+            let remaining = &remaining;
+            let cancels = &cancels;
+            scope.spawn(move || {
+                while remaining.load(Ordering::Acquire) > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(w.poll_ms.max(1)));
+                    let elapsed = board.elapsed_ms();
+                    for (slot, token) in board.jobs.iter().zip(cancels) {
+                        if slot
+                            .running_for_ms(elapsed)
+                            .is_some_and(|ms| ms > w.hard_timeout_ms)
+                        {
+                            token.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
             });
         }
         // Leaving the scope joins every worker; a worker panic (a bug, not
@@ -303,7 +381,21 @@ pub fn try_run_jobs_with_progress(
     slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.unwrap_or(Err(SimError::WorkerLost { job: i })))
+        .map(|(i, slot)| {
+            let outcome = slot.unwrap_or(Err(SimError::WorkerLost { job: i }));
+            match outcome {
+                // A report flagged `cancelled` after its token tripped is
+                // the watchdog's doing: convert it to the timeout error so
+                // a truncated run is never mistaken for a complete one.
+                Ok(r)
+                    if r.faults.cancelled
+                        && cancels.get(i).is_some_and(|c| c.load(Ordering::Relaxed)) =>
+                {
+                    Err(SimError::JobTimedOut { job: i })
+                }
+                other => other,
+            }
+        })
         .collect()
 }
 
@@ -396,6 +488,56 @@ mod tests {
         // No job has completed yet: no baseline, no stragglers.
         assert!(progress.stragglers(1.0).is_empty());
         assert_eq!(progress.total_done(), 0);
+    }
+
+    #[test]
+    fn watchdog_cancels_a_job_past_its_hard_timeout() {
+        let sys = SystemConfig::tiny();
+        let trace = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 1)
+                .take_requests(200_000, &sys.geometry),
+        );
+        let jobs = vec![Job::new(SimConfig::new(sys, ManagerKind::MemPod), trace)];
+        let outcomes = try_run_jobs_with_watchdog(
+            jobs,
+            1,
+            None,
+            WatchdogConfig {
+                poll_ms: 1,
+                hard_timeout_ms: 0,
+            },
+        );
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], Err(SimError::JobTimedOut { job: 0 })));
+    }
+
+    #[test]
+    fn watchdog_leaves_prompt_jobs_alone() {
+        let sys = SystemConfig::tiny();
+        let trace = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 1)
+                .take_requests(2_000, &sys.geometry),
+        );
+        let jobs: Vec<Job> = [ManagerKind::MemPod, ManagerKind::NoMigration]
+            .iter()
+            .map(|&k| Job::new(SimConfig::new(sys.clone(), k), trace.clone()))
+            .collect();
+        let plain = try_run_jobs(jobs.clone(), 2).expect("valid configs");
+        let outcomes = try_run_jobs_with_watchdog(
+            jobs,
+            2,
+            None,
+            WatchdogConfig {
+                poll_ms: 1,
+                hard_timeout_ms: 600_000,
+            },
+        );
+        assert_eq!(outcomes.len(), 2);
+        for (outcome, baseline) in outcomes.iter().zip(&plain) {
+            let r = outcome.as_ref().expect("finished well inside timeout");
+            assert_eq!(r.total_stall, baseline.total_stall);
+            assert!(!r.faults.cancelled);
+        }
     }
 
     #[test]

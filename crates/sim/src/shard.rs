@@ -21,12 +21,19 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use mempod_core::Migration;
 use mempod_dram::{Completion, MemorySystem, Priority, ReqToken};
+use mempod_faults::backoff_after;
 use mempod_telemetry::EventKind;
-use mempod_types::convert::usize_from_u32;
-use mempod_types::{AccessKind, FrameId, PageId, Picos};
+use mempod_types::convert::{u64_from_usize, usize_from_u32};
+use mempod_types::{AccessKind, FrameId, MigrationFaultSpec, PageId, Picos};
 
 /// Initial `blocked`-map size that triggers a prune sweep.
 const PRUNE_WATERMARK_MIN: usize = 8192;
+
+/// Panic payload for the injected shard-worker crash
+/// ([`mempod_types::WorkerPanic`]); the barrier recognises any worker
+/// panic, this type just keeps the unwind payload self-describing.
+#[derive(Debug)]
+pub(crate) struct InjectedShardPanic;
 
 /// A foreground access waiting to be issued (possibly via a metadata
 /// fetch).
@@ -64,8 +71,17 @@ pub(crate) struct MigExec {
     reads_done: bool,
     pub(crate) done: bool,
     finish: Picos,
-    /// When the read phase launched (for the completion event's latency).
+    /// When the *first* read phase launched (for the completion event's
+    /// latency — retries extend the latency, they do not reset it).
     t_start: Picos,
+    /// Injected-fault budget: read-phase attempts that must still abort.
+    aborts_left: u32,
+    /// Whether the abort budget ends in a permanent failure (the manager's
+    /// map was already rolled back at admission; the engine only models
+    /// the timing of the doomed attempts and never writes data).
+    permanent: bool,
+    /// Current read-phase attempt number (1-based).
+    attempt: u32,
     pub(crate) waiters: Vec<Waiter>,
 }
 
@@ -94,8 +110,10 @@ enum PageState {
 /// of the global arrival grid.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum WorkItem {
-    /// Register a migration the manager committed at this tick.
-    Migrate(Migration),
+    /// Register a migration the manager committed at this tick, with the
+    /// fault plan's admission-time verdict (decided on the main thread so
+    /// every shard count sees the same outcome).
+    Migrate(Migration, Option<MigrationFaultSpec>),
     /// Admit a foreground access (after the manager translated it).
     Admit { page: PageId, w: Waiter },
 }
@@ -131,6 +149,18 @@ pub(crate) struct Shard {
     pub(crate) total_stall: Picos,
     pub(crate) injected_migration: u64,
     pub(crate) injected_meta: u64,
+    /// Injected migration-fault bookkeeping: exponential-backoff base and
+    /// cap for retries (copied from the fault config; identical on every
+    /// shard), and counters of aborted attempts and retries.
+    pub(crate) backoff_base: Picos,
+    pub(crate) backoff_cap: Picos,
+    pub(crate) fault_aborts: u64,
+    pub(crate) fault_retries: u64,
+    /// Injected worker panic: fires on the given (1-based) `run_ticks`
+    /// batch. Only the sharded path calls `run_ticks`, so a degraded
+    /// sequential rerun can never re-trigger it.
+    pub(crate) panic_at_batch: Option<u64>,
+    batches_run: u64,
     /// Prune trigger for the blocked map (adapts upward under load).
     prune_watermark: usize,
     /// Whether events are worth buffering (telemetry enabled and the sink
@@ -155,6 +185,12 @@ impl Shard {
             total_stall: Picos::ZERO,
             injected_migration: 0,
             injected_meta: 0,
+            backoff_base: Picos::from_ns(500),
+            backoff_cap: Picos::from_us(8),
+            fault_aborts: 0,
+            fault_retries: 0,
+            panic_at_batch: None,
+            batches_run: 0,
             prune_watermark: PRUNE_WATERMARK_MIN,
             events_wanted,
             events: Vec::new(),
@@ -184,6 +220,17 @@ impl Shard {
     /// what makes the shared grid safe and the result independent of the
     /// batch boundaries.
     pub(crate) fn run_ticks(&mut self, arrivals: &[Picos], work: &[(u32, WorkItem)]) {
+        self.batches_run += 1;
+        if let Some(b) = self.panic_at_batch {
+            if self.batches_run >= b.max(1) {
+                // Injected fault: deliberately crash this shard worker so
+                // the barrier's containment-and-degrade path is exercised.
+                // `panic_any` (not the panic macro) keeps the audit's
+                // panic-free rules meaningful: this is fault-injection
+                // machinery, not an error path.
+                std::panic::panic_any(InjectedShardPanic);
+            }
+        }
         let mut next = 0usize;
         for (tick, &horizon) in arrivals.iter().enumerate() {
             self.pump(horizon);
@@ -192,7 +239,7 @@ impl Shard {
                     break;
                 }
                 match item {
-                    WorkItem::Migrate(m) => self.enqueue_migration(m, horizon),
+                    WorkItem::Migrate(m, spec) => self.enqueue_migration(m, horizon, spec),
                     WorkItem::Admit { page, w } => self.admit(page, w),
                 }
                 next += 1;
@@ -254,34 +301,29 @@ impl Shard {
                 self.total_stall += c.completion.saturating_sub(arrival);
             }
             TokenOwner::MigrationRead { mig } => {
-                let (submit_writes, at) = {
+                /// What a completed read phase leads to.
+                enum Next {
+                    Wait,
+                    Writes(Picos),
+                    Abort(Picos),
+                }
+                let next = {
                     let e = &mut self.migs[mig];
                     e.pending -= 1;
                     e.latest = e.latest.max(c.completion);
-                    if e.pending == 0 && !e.reads_done {
-                        e.reads_done = true;
-                        (true, e.latest)
+                    if e.pending > 0 {
+                        Next::Wait
+                    } else if e.aborts_left > 0 {
+                        Next::Abort(e.latest)
                     } else {
-                        (false, Picos::ZERO)
+                        e.reads_done = true;
+                        Next::Writes(e.latest)
                     }
                 };
-                if submit_writes {
-                    let m = self.migs[mig].m;
-                    let mut n = 0;
-                    for line in m.line_start..m.line_start + m.line_count {
-                        for frame in [m.frame_a, m.frame_b] {
-                            let tok = self.mem.submit_with_priority(
-                                frame,
-                                line,
-                                AccessKind::Write,
-                                at,
-                                Priority::Background,
-                            );
-                            self.owners.insert(tok, TokenOwner::MigrationWrite { mig });
-                            n += 1;
-                        }
-                    }
-                    self.migs[mig].pending = n;
+                match next {
+                    Next::Wait => {}
+                    Next::Writes(at) => self.submit_writes(mig, at),
+                    Next::Abort(at) => self.abort_attempt(mig, at),
                 }
             }
             TokenOwner::MigrationWrite { mig } => {
@@ -289,59 +331,147 @@ impl Shard {
                     let e = &mut self.migs[mig];
                     e.pending -= 1;
                     e.latest = e.latest.max(c.completion);
-                    if e.pending == 0 {
-                        e.done = true;
-                        e.finish = e.latest;
-                        true
-                    } else {
-                        false
-                    }
+                    e.pending == 0
                 };
                 if finished {
-                    let finish = self.migs[mig].finish;
-                    let m = self.migs[mig].m;
-                    if self.events_wanted {
-                        let latency = finish.saturating_sub(self.migs[mig].t_start);
-                        self.event(
-                            finish,
-                            EventKind::MigrationComplete {
-                                pod: m.pod,
-                                frame_a: m.frame_a.0,
-                                frame_b: m.frame_b.0,
-                                latency_ps: latency.as_ps(),
-                            },
-                        );
-                    }
-                    for page in [m.page_a, m.page_b] {
-                        if let Some(PageState::Migrating(idx)) = self.blocked.get(&page) {
-                            if *idx == mig {
-                                self.blocked.insert(page, PageState::BlockedUntil(finish));
-                            }
-                        }
-                    }
-                    let waiters = std::mem::take(&mut self.migs[mig].waiters);
-                    for mut w in waiters {
-                        w.issue = w.issue.max(finish);
-                        self.dispatch(w);
-                    }
-                    // Chain: launch the lane's next queued migration.
-                    if let Some(lane) = lane_of(&m) {
-                        let next = {
-                            let q = self.lanes.get_mut(&lane).expect("lane exists");
-                            debug_assert_eq!(q.front(), Some(&mig));
-                            q.pop_front();
-                            q.front().copied()
-                        };
-                        if let Some(next) = next {
-                            self.start_migration(next, finish);
-                        }
-                    }
+                    let finish = self.migs[mig].latest;
+                    self.complete_migration(mig, finish, false);
                 }
             }
             TokenOwner::MetaFetch { mut waiter } => {
                 waiter.issue = waiter.issue.max(c.completion);
                 waiter.needs_meta = false;
                 self.dispatch(waiter);
+            }
+        }
+    }
+
+    /// Launches a migration's 2×N write-back phase at `at` (its read phase
+    /// just completed cleanly).
+    fn submit_writes(&mut self, mig: usize, at: Picos) {
+        let m = self.migs[mig].m;
+        let mut n = 0;
+        for line in m.line_start..m.line_start + m.line_count {
+            for frame in [m.frame_a, m.frame_b] {
+                let tok = self.mem.submit_with_priority(
+                    frame,
+                    line,
+                    AccessKind::Write,
+                    at,
+                    Priority::Background,
+                );
+                self.owners.insert(tok, TokenOwner::MigrationWrite { mig });
+                n += 1;
+            }
+        }
+        self.migs[mig].pending = n;
+        self.injected_migration += u64_from_usize(n);
+    }
+
+    /// An injected fault aborts the migration's current read phase at `at`:
+    /// either retry after exponential backoff (in simulated time) or, when
+    /// the budget ends permanently, finish the migration as failed — its
+    /// map entries were already rolled back at admission, so releasing its
+    /// pages and waiters leaves the address map exactly as before.
+    fn abort_attempt(&mut self, mig: usize, at: Picos) {
+        let (m, attempt, conflicting, give_up) = {
+            let e = &mut self.migs[mig];
+            e.aborts_left -= 1;
+            // Cause labelling: a parked writer means the abort races a
+            // conflicting write; otherwise it is a transient datapath fault.
+            let conflicting = e.waiters.iter().any(|w| w.kind == AccessKind::Write);
+            (
+                e.m,
+                e.attempt,
+                conflicting,
+                e.aborts_left == 0 && e.permanent,
+            )
+        };
+        self.fault_aborts += 1;
+        self.event(
+            at,
+            EventKind::MigrationAbort {
+                pod: m.pod,
+                frame_a: m.frame_a.0,
+                frame_b: m.frame_b.0,
+                attempt,
+                conflicting,
+            },
+        );
+        if give_up {
+            self.event(
+                at,
+                EventKind::MigrationRollback {
+                    pod: m.pod,
+                    frame_a: m.frame_a.0,
+                    frame_b: m.frame_b.0,
+                    attempts: attempt,
+                },
+            );
+            self.complete_migration(mig, at, true);
+        } else {
+            let backoff = backoff_after(self.backoff_base, self.backoff_cap, attempt);
+            self.migs[mig].attempt = attempt + 1;
+            self.fault_retries += 1;
+            self.event(
+                at,
+                EventKind::MigrationRetry {
+                    pod: m.pod,
+                    frame_a: m.frame_a.0,
+                    frame_b: m.frame_b.0,
+                    attempt: attempt + 1,
+                    backoff_ps: backoff.as_ps(),
+                },
+            );
+            self.submit_reads(mig, at + backoff);
+        }
+    }
+
+    /// Finishes a migration at `finish` — successfully (`failed == false`,
+    /// after its last write-back) or as a rolled-back permanent abort — and
+    /// runs the shared release path: rewrite its pages' blocking state,
+    /// dispatch parked waiters, and chain the lane's next migration.
+    fn complete_migration(&mut self, mig: usize, finish: Picos, failed: bool) {
+        {
+            let e = &mut self.migs[mig];
+            e.done = true;
+            e.finish = finish;
+        }
+        let m = self.migs[mig].m;
+        if !failed && self.events_wanted {
+            let latency = finish.saturating_sub(self.migs[mig].t_start);
+            self.event(
+                finish,
+                EventKind::MigrationComplete {
+                    pod: m.pod,
+                    frame_a: m.frame_a.0,
+                    frame_b: m.frame_b.0,
+                    latency_ps: latency.as_ps(),
+                },
+            );
+        }
+        for page in [m.page_a, m.page_b] {
+            if let Some(PageState::Migrating(idx)) = self.blocked.get(&page) {
+                if *idx == mig {
+                    self.blocked.insert(page, PageState::BlockedUntil(finish));
+                }
+            }
+        }
+        let waiters = std::mem::take(&mut self.migs[mig].waiters);
+        for mut w in waiters {
+            w.issue = w.issue.max(finish);
+            self.dispatch(w);
+        }
+        // Chain: launch the lane's next queued migration.
+        if let Some(lane) = lane_of(&m) {
+            let next = {
+                let q = self.lanes.get_mut(&lane).expect("lane exists");
+                debug_assert_eq!(q.front(), Some(&mig));
+                q.pop_front();
+                q.front().copied()
+            };
+            if let Some(next) = next {
+                self.start_migration(next, finish);
             }
         }
     }
@@ -365,7 +495,12 @@ impl Shard {
     /// already live, so their data is logically in transit), but the data
     /// movement itself queues behind its lane — a pod migrates one page at
     /// a time.
-    pub(crate) fn enqueue_migration(&mut self, m: Migration, at: Picos) {
+    pub(crate) fn enqueue_migration(
+        &mut self,
+        m: Migration,
+        at: Picos,
+        spec: Option<MigrationFaultSpec>,
+    ) {
         let mig = self.migs.len();
         self.event(
             at,
@@ -375,6 +510,8 @@ impl Shard {
                 pod: m.pod,
             },
         );
+        let (aborts_left, permanent) =
+            spec.map_or((0, false), |s| (s.failed_attempts, s.permanent));
         self.migs.push(MigExec {
             m,
             pending: 0,
@@ -384,9 +521,11 @@ impl Shard {
             done: false,
             finish: Picos::MAX,
             t_start: at,
+            aborts_left,
+            permanent,
+            attempt: 1,
             waiters: Vec::new(),
         });
-        self.injected_migration += m.injected_requests();
         self.blocked.insert(m.page_a, PageState::Migrating(mig));
         self.blocked.insert(m.page_b, PageState::Migrating(mig));
         match lane_of(&m) {
@@ -401,7 +540,9 @@ impl Shard {
         }
     }
 
-    /// Launches a migration's read phase.
+    /// Launches a migration's first read phase (emits `MigrationStart`
+    /// exactly once; injected retries re-enter via
+    /// [`submit_reads`](Shard::submit_reads) alone).
     fn start_migration(&mut self, mig: usize, at: Picos) {
         let m = self.migs[mig].m;
         self.event(
@@ -413,6 +554,18 @@ impl Shard {
                 lines: m.line_count,
             },
         );
+        {
+            let e = &mut self.migs[mig];
+            e.started = true;
+            e.t_start = at;
+        }
+        self.submit_reads(mig, at);
+    }
+
+    /// Launches (or, after an injected abort, re-launches) a migration's
+    /// 2×N read phase at `at`.
+    fn submit_reads(&mut self, mig: usize, at: Picos) {
+        let m = self.migs[mig].m;
         let mut pending = 0;
         for line in m.line_start..m.line_start + m.line_count {
             for frame in [m.frame_a, m.frame_b] {
@@ -428,10 +581,9 @@ impl Shard {
             }
         }
         let e = &mut self.migs[mig];
-        e.started = true;
         e.pending = pending;
         e.latest = at;
-        e.t_start = at;
+        self.injected_migration += u64_from_usize(pending);
     }
 
     /// Routes a foreground access according to its page's blocking state.

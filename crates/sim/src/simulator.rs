@@ -37,16 +37,17 @@
 //! formulation (§6.2). Injected traffic contributes through contention and
 //! blocking, not through its own queueing time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use mempod_core::{build_manager, MemoryManager};
+use mempod_core::{build_manager, MemoryManager, Migration};
 use mempod_dram::{ChannelProbe, Interleave, MemorySystem, SystemStats};
+use mempod_faults::FaultPlan;
 use mempod_telemetry::{EpochSnapshot, EventKind, Log2Histogram, PhaseClock, Telemetry};
 use mempod_trace::Trace;
-use mempod_types::convert::{u32_from_u64, u64_from_usize, usize_from_u64};
-use mempod_types::Picos;
+use mempod_types::convert::{u32_from_u64, u64_from_usize, usize_from_u32, usize_from_u64};
+use mempod_types::{EngineError, MigrationFaultSpec, Picos};
 
 use crate::config::{SimConfig, SimError};
 use crate::metrics::SimReport;
@@ -344,6 +345,10 @@ pub struct Simulator {
     /// busy timing for [`PhaseClock`]; bit-identical results).
     serial_shards: bool,
     phase_clock: Option<Arc<PhaseClock>>,
+    /// Cooperative cancellation token (the runner watchdog's hard-timeout
+    /// lever): when set, admission stops, in-flight work drains, and the
+    /// partial report comes back flagged `faults.cancelled`.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -397,6 +402,7 @@ impl Simulator {
             shards: 1,
             serial_shards: false,
             phase_clock: None,
+            cancel: None,
         })
     }
 
@@ -455,6 +461,29 @@ impl Simulator {
     pub fn with_phase_clock(mut self, clock: Arc<PhaseClock>) -> Self {
         self.phase_clock = Some(clock);
         self
+    }
+
+    /// Attaches a cooperative cancellation token. When another thread sets
+    /// it, the run stops admitting trace requests at the next arrival,
+    /// drains everything already in flight (so no request is lost), and
+    /// returns a partial report with `faults.cancelled` set and `requests`
+    /// reduced to the admitted count. This is the lever behind the parallel
+    /// runner's hard per-job timeout
+    /// ([`try_run_jobs_with_watchdog`](crate::try_run_jobs_with_watchdog)).
+    #[must_use]
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The active fault plan, if the configuration carries one with any
+    /// non-zero rate or injected panic.
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        self.cfg
+            .faults
+            .as_ref()
+            .filter(|f| f.is_active())
+            .map(|f| FaultPlan::new(*f))
     }
 
     /// The shard count a [`run`](Simulator::run) will actually use: the
@@ -524,6 +553,7 @@ impl Simulator {
         if self.tel.is_enabled() {
             self.mem.attach_probes();
         }
+        self.attach_channel_faults();
         if shards <= 1 {
             self.run_sequential(trace)
         } else {
@@ -539,7 +569,20 @@ impl Simulator {
         if self.tel.is_enabled() {
             self.mem.attach_probes();
         }
+        self.attach_channel_faults();
         self.run_sequential(trace)
+    }
+
+    /// Attaches per-channel fault streams before the system is (possibly)
+    /// sharded: streams are keyed by global channel index and travel with
+    /// their channels through `into_shards`, so every shard count draws
+    /// exactly the same fault windows.
+    fn attach_channel_faults(&mut self) {
+        if let Some(plan) = self.fault_plan() {
+            if plan.config().channel_fault_ppm > 0 {
+                self.mem.attach_faults(&plan);
+            }
+        }
     }
 
     /// The sequential event loop: one shard over the whole memory system,
@@ -564,10 +607,26 @@ impl Simulator {
         let mut miss_run = 0u64;
         let mut progress_batch = 0u64;
 
+        let plan = self.fault_plan();
+        let mut faulted_migrations = 0u64;
+        let mut cancelled = false;
+
         let pods = self.cfg.mgr.geometry.pods();
         let mut eng = Shard::new(self.mem, pods, events_wanted);
+        if let Some(p) = &plan {
+            eng.backoff_base = p.config().migration_backoff;
+            eng.backoff_cap = p.config().migration_backoff_cap;
+        }
 
         for req in trace.requests() {
+            if self
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.load(Ordering::Relaxed))
+            {
+                cancelled = true;
+                break;
+            }
             eng.pump(req.arrival);
             if events_wanted {
                 eng.flush_events_into(&mut self.tel);
@@ -601,8 +660,14 @@ impl Simulator {
             }
             #[cfg(feature = "debug-invariants")]
             let crossed_boundary = !outcome.migrations.is_empty();
-            for m in outcome.migrations {
-                eng.enqueue_migration(m, req.arrival);
+            for (m, spec) in decide_migration_faults(
+                self.mgr.as_mut(),
+                plan.as_ref(),
+                outcome.migrations,
+                req.arrival,
+                &mut faulted_migrations,
+            ) {
+                eng.enqueue_migration(m, req.arrival, spec);
             }
             #[cfg(feature = "debug-invariants")]
             if crossed_boundary && auditor.should_sample() {
@@ -688,6 +753,14 @@ impl Simulator {
         report.injected_migration_requests = eng.injected_migration;
         report.injected_meta_requests = eng.injected_meta;
         report.mem_stats = eng.mem.stats();
+        report.faults.migration_faults = faulted_migrations;
+        report.faults.migration_retries = eng.fault_retries;
+        report.faults.migration_aborts = eng.fault_aborts;
+        report.faults.channel_faults = report.mem_stats.total().faults_injected;
+        if cancelled {
+            report.faults.cancelled = true;
+            report.requests = requests_so_far;
+        }
         self.tel.flush();
         report.timeline = self.tel.ring.drain();
         report
@@ -716,16 +789,33 @@ impl Simulator {
         let mut miss_run = 0u64;
         let mut progress_batch = 0u64;
 
+        let plan = self.fault_plan();
+        let mut faulted_migrations = 0u64;
+        let mut cancelled = false;
+
         let pods = self.cfg.mgr.geometry.pods();
         let nu = u64::from(n);
+        // Leave a fresh (never-run) system in `self.mem` so `self` stays
+        // whole: the degrade path below rebuilds a sequential run from the
+        // configuration if a shard worker panics.
+        let layout = *self.mem.layout();
+        let mem = std::mem::replace(&mut self.mem, MemorySystem::new(layout));
         let mut set = ShardSet {
-            shards: self
-                .mem
+            shards: mem
                 .into_shards(n)
                 .into_iter()
                 .map(|mem| Shard::new(mem, pods, events_wanted))
                 .collect(),
         };
+        if let Some(p) = &plan {
+            for sh in &mut set.shards {
+                sh.backoff_base = p.config().migration_backoff;
+                sh.backoff_cap = p.config().migration_backoff_cap;
+            }
+            if let Some(wp) = p.config().worker_panic {
+                set.shards[usize_from_u32(wp.shard % n)].panic_at_batch = Some(wp.batch);
+            }
+        }
         let shards = &mut set.shards;
 
         let serial = self.serial_shards;
@@ -741,6 +831,14 @@ impl Simulator {
         let mut batch_migrated = false;
 
         for req in trace.requests() {
+            if self
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.load(Ordering::Relaxed))
+            {
+                cancelled = true;
+                break;
+            }
             let crossing = driver.as_ref().is_some_and(|d| d.crosses(req.arrival));
             if crossing && !(arrivals.is_empty() && requests_so_far == 0) {
                 // Pre-pump round: bring every shard to this arrival so the
@@ -748,7 +846,7 @@ impl Simulator {
                 // loop (pump, then observe) would have. The next batch
                 // re-pumps to the same horizon, which is a no-op.
                 arrivals.push(req.arrival);
-                barrier(
+                if let Err(shard) = barrier(
                     shards,
                     &mut arrivals,
                     &mut work,
@@ -758,7 +856,10 @@ impl Simulator {
                     &mut self.tel,
                     &mut main_events,
                     events_wanted,
-                );
+                ) {
+                    let flushed = requests_so_far - progress_batch;
+                    return self.degrade(trace, shard, flushed, req.arrival);
+                }
             }
             if let Some(d) = driver.as_mut().filter(|_| crossing) {
                 let mut view = engine_view(shards);
@@ -788,13 +889,19 @@ impl Simulator {
                     miss_run = 0;
                 }
             }
-            for m in outcome.migrations {
-                #[cfg(feature = "debug-invariants")]
-                {
-                    batch_migrated = true;
-                }
+            #[cfg(feature = "debug-invariants")]
+            {
+                batch_migrated |= !outcome.migrations.is_empty();
+            }
+            for (m, spec) in decide_migration_faults(
+                self.mgr.as_mut(),
+                plan.as_ref(),
+                outcome.migrations,
+                req.arrival,
+                &mut faulted_migrations,
+            ) {
                 let s = usize_from_u64(m.frame_a.0 % nu);
-                work[s].push((tick, WorkItem::Migrate(m)));
+                work[s].push((tick, WorkItem::Migrate(m, spec)));
             }
 
             let w = Waiter {
@@ -826,7 +933,7 @@ impl Simulator {
             }
 
             if arrivals.len() >= BATCH_TICKS {
-                barrier(
+                if let Err(shard) = barrier(
                     shards,
                     &mut arrivals,
                     &mut work,
@@ -836,7 +943,10 @@ impl Simulator {
                     &mut self.tel,
                     &mut main_events,
                     events_wanted,
-                );
+                ) {
+                    let flushed = requests_so_far - progress_batch;
+                    return self.degrade(trace, shard, flushed, req.arrival);
+                }
                 #[cfg(feature = "debug-invariants")]
                 if batch_migrated && auditor.should_sample() {
                     self.mgr.audit_invariants(&mut auditor);
@@ -859,7 +969,7 @@ impl Simulator {
         // Final round: every shard pumps to the end of time so completions
         // can spawn write phases and parked accesses.
         arrivals.push(Picos::MAX);
-        barrier(
+        if let Err(shard) = barrier(
             shards,
             &mut arrivals,
             &mut work,
@@ -869,7 +979,10 @@ impl Simulator {
             &mut self.tel,
             &mut main_events,
             events_wanted,
-        );
+        ) {
+            let flushed = requests_so_far - progress_batch;
+            return self.degrade(trace, shard, flushed, trace.duration());
+        }
 
         if let Some(p) = &self.progress {
             p.fetch_add(progress_batch, Ordering::Relaxed);
@@ -925,14 +1038,105 @@ impl Simulator {
             stats.merge(&sh.mem.stats());
         }
         report.mem_stats = stats;
+        report.faults.migration_faults = faulted_migrations;
+        report.faults.migration_retries = shards.iter().map(|sh| sh.fault_retries).sum();
+        report.faults.migration_aborts = shards.iter().map(|sh| sh.fault_aborts).sum();
+        report.faults.channel_faults = report.mem_stats.total().faults_injected;
+        if cancelled {
+            report.faults.cancelled = true;
+            report.requests = requests_so_far;
+        }
         self.tel.flush();
         report.timeline = self.tel.ring.drain();
         report
     }
+
+    /// Recovers from a shard-worker panic by restarting the whole trace on
+    /// the sequential reference path — the ground truth the sharded run
+    /// would have reproduced bit for bit. The panicked run's partial engine
+    /// state is discarded; the manager and memory system are rebuilt from
+    /// the configuration, so the degraded report is exactly what a
+    /// sequential run would have produced, flagged with the panic.
+    ///
+    /// Progress already flushed to the live counter is compensated with a
+    /// `fetch_sub` before the rerun re-counts from zero. Telemetry emitted
+    /// before the panic stays in the sink (it faithfully observed the
+    /// prefix); the rerun's stream follows the [`EventKind::ShardPanic`] /
+    /// [`EventKind::DegradedToSequential`] markers.
+    fn degrade(mut self, trace: &Trace, shard: u32, flushed_progress: u64, t: Picos) -> SimReport {
+        let cause = EngineError::ShardWorkerPanicked { shard };
+        eprintln!("warning: {cause}; degrading to the sequential reference path");
+        let t = t.min(trace.duration());
+        self.tel.event(t.as_ps(), EventKind::ShardPanic { shard });
+        self.tel
+            .event(t.as_ps(), EventKind::DegradedToSequential { shard });
+        if let Some(p) = &self.progress {
+            p.fetch_sub(flushed_progress, Ordering::Relaxed);
+        }
+        // `self.mem` holds a fresh, never-run replacement system over the
+        // same layout (see `run_sharded`), so rebuilding validates.
+        let layout = *self.mem.layout();
+        let mut sim = match Simulator::with_layout(self.cfg.clone(), layout) {
+            Ok(sim) => sim,
+            Err(e) => {
+                // Unreachable: the config validated when `self` was built.
+                // Recovery path, so degrade once more instead of panicking.
+                eprintln!("warning: cannot rebuild simulator after shard panic: {e}");
+                let mut report = SimReport::new(trace.name(), self.cfg.manager);
+                report.faults.shard_panics = 1;
+                report.faults.degraded_to_sequential = true;
+                return report;
+            }
+        };
+        sim.tel = std::mem::replace(&mut self.tel, Telemetry::disabled());
+        sim.progress = self.progress.clone();
+        sim.cancel = self.cancel.clone();
+        let mut report = sim.run(trace);
+        report.faults.shard_panics += 1;
+        report.faults.degraded_to_sequential = true;
+        report
+    }
+}
+
+/// Decides fault outcomes for one batch of committed migrations (on the
+/// main thread, so every shard count sees identical verdicts) and rolls
+/// the permanently-doomed ones back out of the manager's map in reverse
+/// commit order. Returns `(migration, spec)` pairs in commit order for the
+/// engine, which models the doomed attempts' timing but never moves their
+/// data.
+fn decide_migration_faults(
+    mgr: &mut dyn MemoryManager,
+    plan: Option<&FaultPlan>,
+    migrations: Vec<Migration>,
+    at: Picos,
+    faulted: &mut u64,
+) -> Vec<(Migration, Option<MigrationFaultSpec>)> {
+    let decided: Vec<(Migration, Option<MigrationFaultSpec>)> = migrations
+        .into_iter()
+        .map(|m| {
+            let spec = plan.and_then(|p| p.migration_spec(m.frame_a, m.frame_b, at));
+            if spec.is_some() {
+                *faulted += 1;
+            }
+            (m, spec)
+        })
+        .collect();
+    for (m, spec) in decided.iter().rev() {
+        if spec.is_some_and(|s| s.permanent) {
+            let _ = mgr.rollback_migration(m);
+        }
+    }
+    decided
 }
 
 /// One barrier: run the accumulated batch on every shard, merge the
 /// buffered telemetry deterministically, and reset the batch.
+///
+/// # Errors
+///
+/// Returns the index of the first (lowest-numbered) shard whose worker
+/// panicked; the batch state is left as-is for the caller's degrade path
+/// to inspect (and discard).
 #[allow(clippy::too_many_arguments)]
 fn barrier(
     shards: &mut [Shard],
@@ -944,14 +1148,14 @@ fn barrier(
     tel: &mut Telemetry,
     main_events: &mut Vec<(u64, EventKind)>,
     events_wanted: bool,
-) {
+) -> Result<(), u32> {
     if arrivals.is_empty() {
-        return;
+        return Ok(());
     }
     if let (Some(c), Some(t0)) = (clock, admit_start.as_ref()) {
         c.record_admission(elapsed_ns(t0));
     }
-    run_batch(shards, arrivals, work, serial, clock);
+    run_batch(shards, arrivals, work, serial, clock)?;
     if events_wanted {
         merge_events(tel, shards, main_events);
     }
@@ -961,28 +1165,42 @@ fn barrier(
         // phase; never feeds simulated state.
         *t0 = Instant::now();
     }
+    Ok(())
 }
 
 /// Runs one batch of ticks on every shard — on worker threads by default,
 /// or serially on the calling thread when exact per-shard busy times are
 /// wanted (shards are disjoint, so the results are identical either way).
+///
+/// # Errors
+///
+/// A worker panic (injected or real) is contained here — joined on the
+/// threaded path, caught on the serial path — and reported as the index of
+/// the first affected shard instead of unwinding through the barrier.
 fn run_batch(
     shards: &mut [Shard],
     arrivals: &[Picos],
     work: &mut [Vec<(u32, WorkItem)>],
     serial: bool,
     clock: Option<&PhaseClock>,
-) {
+) -> Result<(), u32> {
     let timed = clock.is_some();
+    let mut panicked: Option<u32> = None;
     let busys: Vec<u64> = if serial || shards.len() == 1 {
         shards
             .iter_mut()
             .zip(work.iter_mut())
-            .map(|(s, w)| {
+            .enumerate()
+            .map(|(i, (s, w))| {
                 // Observability-only: wall-clock busy-time measurement for
                 // the phase clock; never feeds simulated state.
                 let t0 = timed.then(Instant::now);
-                s.run_ticks(arrivals, w);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    s.run_ticks(arrivals, w);
+                }));
+                if outcome.is_err() && panicked.is_none() {
+                    panicked = Some(u32_from_u64(u64_from_usize(i)));
+                }
                 w.clear();
                 t0.as_ref().map_or(0, elapsed_ns)
             })
@@ -1006,13 +1224,29 @@ fn run_batch(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .enumerate()
+                .map(|(i, h)| match h.join() {
+                    Ok(ns) => ns,
+                    Err(_) => {
+                        // Explicitly joining captures the unwind, so the
+                        // scope does not re-raise it; the barrier reports
+                        // the shard instead.
+                        if panicked.is_none() {
+                            panicked = Some(u32_from_u64(u64_from_usize(i)));
+                        }
+                        0
+                    }
+                })
                 .collect()
         })
     };
+    if let Some(shard) = panicked {
+        return Err(shard);
+    }
     if let Some(c) = clock {
         c.record_interval(&busys);
     }
+    Ok(())
 }
 
 /// Nanoseconds elapsed since `t0`, saturating.
@@ -1036,9 +1270,13 @@ fn merge_events(
     tel.emit_merged(&mut bufs);
     let mut it = bufs.into_iter();
     for s in shards.iter_mut() {
-        s.events = it.next().expect("one buffer per shard");
+        if let Some(buf) = it.next() {
+            s.events = buf;
+        }
     }
-    *main_events = it.next().expect("admission buffer");
+    if let Some(buf) = it.next() {
+        *main_events = buf;
+    }
 }
 #[cfg(test)]
 mod tests {
@@ -1377,5 +1615,62 @@ mod tests {
         // Observation must not perturb the simulation.
         assert_eq!(plain.total_stall, telem.total_stall);
         assert_eq!(plain.migration.migrations, telem.migration.migrations);
+    }
+
+    #[test]
+    fn forced_worker_panic_degrades_to_sequential_and_matches_reference() {
+        use mempod_types::{FaultConfig, WorkerPanic};
+        let mut cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+        let mut f = FaultConfig::quiet(5);
+        f.worker_panic = Some(WorkerPanic { shard: 1, batch: 2 });
+        cfg.faults = Some(f);
+        let mut degraded = Simulator::new(cfg)
+            .expect("valid")
+            .with_shards(4)
+            .run(&demo_trace(20_000));
+        assert!(degraded.faults.degraded_to_sequential);
+        assert_eq!(degraded.faults.shard_panics, 1);
+        // Apart from the recovery accounting, the degraded run must be
+        // bit-identical to a clean sequential run: fault decisions are pure
+        // functions, so the restart replays the exact same simulation.
+        degraded.faults.shard_panics = 0;
+        degraded.faults.degraded_to_sequential = false;
+        let clean = run_reference_with(ManagerKind::MemPod, 20_000);
+        assert_eq!(degraded, clean);
+    }
+
+    #[test]
+    fn forced_worker_panic_reaches_telemetry() {
+        use mempod_types::{FaultConfig, WorkerPanic};
+        let sink = mempod_telemetry::MemorySink::new();
+        let lines = sink.handle();
+        let mut cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+        let mut f = FaultConfig::quiet(5);
+        f.worker_panic = Some(WorkerPanic { shard: 0, batch: 1 });
+        cfg.faults = Some(f);
+        let report = Simulator::new(cfg)
+            .expect("valid")
+            .with_shards(4)
+            .with_telemetry(Telemetry::with_sink(Box::new(sink)))
+            .run(&demo_trace(10_000));
+        assert!(report.faults.degraded_to_sequential);
+        let lines = lines.lock().expect("sink mutex");
+        assert!(lines.iter().any(|l| l.contains("ShardPanic")));
+        assert!(lines.iter().any(|l| l.contains("DegradedToSequential")));
+    }
+
+    #[test]
+    fn pre_cancelled_runs_stop_early_and_say_so() {
+        for shards in [1u32, 4] {
+            let token = Arc::new(AtomicBool::new(true));
+            let cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+            let r = Simulator::new(cfg)
+                .expect("valid")
+                .with_shards(shards)
+                .with_cancel(Arc::clone(&token))
+                .run(&demo_trace(5_000));
+            assert!(r.faults.cancelled, "{shards} shards");
+            assert_eq!(r.requests, 0, "{shards} shards");
+        }
     }
 }

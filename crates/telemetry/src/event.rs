@@ -70,6 +70,64 @@ pub enum EventKind {
     },
     /// An epoch boundary's derived metrics (the timeline backbone).
     Epoch(EpochSnapshot),
+    /// A migration attempt was abandoned mid-swap (injected fault): its
+    /// queued background traffic was cancelled at the end of the read
+    /// phase and no data was committed.
+    MigrationAbort {
+        /// Pod performing the swap.
+        pod: Option<u32>,
+        /// One frame of the swap.
+        frame_a: u64,
+        /// The other frame.
+        frame_b: u64,
+        /// 1-based attempt number that aborted.
+        attempt: u32,
+        /// Whether a conflicting write was parked on either page when the
+        /// abort fired (the classic torn-swap hazard).
+        conflicting: bool,
+    },
+    /// An aborted migration was resubmitted after simulated-time backoff.
+    MigrationRetry {
+        /// Pod performing the swap.
+        pod: Option<u32>,
+        /// One frame of the swap.
+        frame_a: u64,
+        /// The other frame.
+        frame_b: u64,
+        /// 1-based attempt number being launched.
+        attempt: u32,
+        /// Simulated backoff applied before this attempt, picoseconds.
+        backoff_ps: u64,
+    },
+    /// A migration exhausted its retry budget; the address map was rolled
+    /// back to its pre-swap state and the swap abandoned.
+    MigrationRollback {
+        /// Pod performing the swap.
+        pod: Option<u32>,
+        /// One frame of the swap.
+        frame_a: u64,
+        /// The other frame.
+        frame_b: u64,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// A shard worker panicked; caught at the epoch barrier.
+    ShardPanic {
+        /// Index of the first shard whose worker panicked.
+        shard: u32,
+    },
+    /// The sharded engine abandoned its partial state and restarted the
+    /// run on the sequential reference path.
+    DegradedToSequential {
+        /// Shard whose panic triggered the degradation.
+        shard: u32,
+    },
+    /// The runner watchdog cancelled a job that exceeded its hard
+    /// per-job timeout.
+    JobTimeout {
+        /// Job index within the submitted batch.
+        job: usize,
+    },
     /// A parallel-runner job started.
     JobStart {
         /// Job index within the submitted batch.
@@ -171,6 +229,38 @@ mod tests {
                     requests: 1_000_000,
                 },
             ),
+            Event::new(
+                80,
+                EventKind::MigrationAbort {
+                    pod: Some(1),
+                    frame_a: 7,
+                    frame_b: 4096,
+                    attempt: 2,
+                    conflicting: true,
+                },
+            ),
+            Event::new(
+                90,
+                EventKind::MigrationRetry {
+                    pod: Some(1),
+                    frame_a: 7,
+                    frame_b: 4096,
+                    attempt: 3,
+                    backoff_ps: 2_000_000,
+                },
+            ),
+            Event::new(
+                100,
+                EventKind::MigrationRollback {
+                    pod: None,
+                    frame_a: 7,
+                    frame_b: 4096,
+                    attempts: 4,
+                },
+            ),
+            Event::new(110, EventKind::ShardPanic { shard: 3 }),
+            Event::new(120, EventKind::DegradedToSequential { shard: 3 }),
+            Event::new(130, EventKind::JobTimeout { job: 2 }),
         ];
         for e in samples {
             let back = Event::deserialize(&e.to_value()).expect("round trip");

@@ -34,6 +34,7 @@ pub mod addr;
 pub mod config;
 pub mod convert;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod request;
 pub mod time;
@@ -41,7 +42,8 @@ pub mod time;
 pub use addr::{Addr, FrameId, LineId, PageId};
 pub use config::{SystemConfig, TrackerKind};
 pub use convert::ConvertError;
-pub use error::GeometryError;
+pub use error::{EngineError, GeometryError};
+pub use fault::{ChannelFaultKind, FaultCause, FaultConfig, MigrationFaultSpec, WorkerPanic};
 pub use geometry::{Geometry, Tier, LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 pub use request::{AccessKind, CoreId, MemRequest, RequestId};
 pub use time::{Clock, Picos};

@@ -93,6 +93,39 @@ fn simulator_runs_audit_clean_for_all_migrating_managers() {
     }
 }
 
+/// A migration storm with injected mid-swap aborts (rate far above 1e-3)
+/// must complete with zero address-map corruption: under this feature the
+/// simulator audits manager invariants at every epoch boundary and panics
+/// the run on any violation, so rollbacks that left the RemapTable or
+/// SegmentMap torn would fail here.
+#[test]
+fn faulted_storms_audit_clean_for_all_migrating_managers() {
+    use mempod_types::FaultConfig;
+    let trace = TraceGenerator::new(WorkloadSpec::hotcold_demo(), 7)
+        .take_requests(40_000, &SystemConfig::tiny().geometry);
+    let mut faults = FaultConfig::quiet(3);
+    faults.migration_abort_ppm = 200_000;
+    faults.migration_max_retries = 1;
+    faults.channel_fault_ppm = 10_000;
+    for kind in MIGRATING {
+        let mut cfg = SimConfig::new(SystemConfig::tiny(), kind).with_faults(faults);
+        cfg.mgr.hma_interval = mempod_types::Picos::from_us(50);
+        cfg.mgr.hma_sort_penalty = mempod_types::Picos::from_us(5);
+        cfg.mgr.hma_hot_threshold = 16;
+        cfg.mgr.thm_threshold = 8;
+        let report = Simulator::new(cfg).expect("valid config").run(&trace);
+        assert!(report.migration.migrations > 0, "{kind}");
+        assert!(
+            report.faults.migration_faults > 0,
+            "{kind}: the fault plan must actually fire"
+        );
+        assert!(
+            report.migration.aborted > 0,
+            "{kind}: some retry budgets must exhaust into rollbacks"
+        );
+    }
+}
+
 /// The auditor reports broken state: corrupt a remap-style mapping and the
 /// bijection check must flag it (guards against the auditor rubber-stamping).
 #[test]
