@@ -65,6 +65,10 @@ pub const EPOCH_BARRIER_FNS: &[&str] = &[
     "engine_view",
     "audit_invariants",
     "telemetry_counters",
+    // The sharded engine's batch barrier: runs once per global batch
+    // window (merging per-shard buffers, emitting execution spans), never
+    // inside a shard's tick loop.
+    "barrier",
 ];
 
 /// Container methods that mutate their receiver. Workspace methods are

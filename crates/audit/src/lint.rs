@@ -352,6 +352,7 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> LintReport {
     }
     rules::ignored_result::check(&model, &coverage, &mut violations);
     rules::coverage::check(&model, &coverage, &mut violations);
+    rules::span::check(&model, &mut violations);
 
     for v in &mut violations {
         v.allowed = allowlist.permits(&v.file, &v.rule, &v.snippet);

@@ -23,6 +23,8 @@
 //! * [`clock`] — `nondet-clock`: wall-clock reads on the hot path.
 //! * [`interior_mut`] — `interior-mut`: `static mut`, `thread_local!`,
 //!   cells and locks that hide writes from the effect analysis.
+//! * [`span`] — `unsampled-span`: span events built on the tick path
+//!   without going through the sampling-aware helpers.
 //!
 //! Meta-lint:
 //! * [`coverage`] — pipeline modules that escape the derived coverage.
@@ -38,6 +40,7 @@ pub mod nondet;
 pub mod panic;
 pub mod print;
 pub mod recovery;
+pub mod span;
 pub mod units;
 
 use crate::lint::Violation;

@@ -12,6 +12,16 @@
 //! 50 µs window carrying per-pod migration counts, MEA evictions, queue
 //! depth p50/p99, the fast/slow tier service split, and AMMAT-so-far.
 //!
+//! With `--trace-out PATH` the same event stream is rendered as a Chrome
+//! trace-event JSON array — drag it into <https://ui.perfetto.dev> for the
+//! migration/request timeline. `--trace-out` implies causal span tracing
+//! at the default 1 % request sample; tune with `--span-ppm N`
+//! (1000000 = every request) and add per-shard batch tracks with
+//! `--exec-spans`. `--spans` turns span tracing on for a JSONL-only run.
+//! Both sinks can run together (`--timeline` + `--trace-out` tees the
+//! stream), and `--shards N` drives the sharded engine — the causal trace
+//! is bit-identical at any accepted shard count.
+//!
 //! With `--faults PPM` a deterministic fault plan injects mid-swap
 //! migration aborts (and, via `--channel-faults PPM`, channel timing
 //! faults) at that rate; aborted migrations retry with simulated-time
@@ -23,7 +33,7 @@
 use mempod_bench::{write_json, Opts};
 use mempod_core::ManagerKind;
 use mempod_sim::Simulator;
-use mempod_telemetry::{FileSink, Telemetry};
+use mempod_telemetry::{ChromeTraceSink, EventSink, FileSink, SpanConfig, TeeSink, Telemetry};
 use mempod_trace::{TraceGenerator, WorkloadSpec};
 use mempod_types::{FaultConfig, Picos};
 
@@ -53,6 +63,11 @@ fn main() {
     let mut future = false;
     let mut smoke = false;
     let mut timeline: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut spans = false;
+    let mut span_ppm: Option<u32> = None;
+    let mut exec_spans = false;
+    let mut shards = 1u32;
     let mut fault_ppm: Option<u32> = None;
     let mut channel_fault_ppm: Option<u32> = None;
     let mut fault_seed = 1u64;
@@ -72,6 +87,11 @@ fn main() {
             "--future" => future = true,
             "--smoke" => smoke = true,
             "--timeline" => timeline = Some(val()),
+            "--trace-out" => trace_out = Some(val()),
+            "--spans" => spans = true,
+            "--span-ppm" => span_ppm = Some(val().parse().expect("integer")),
+            "--exec-spans" => exec_spans = true,
+            "--shards" => shards = val().parse().expect("integer"),
             "--faults" => fault_ppm = Some(val().parse().expect("integer")),
             "--channel-faults" => channel_fault_ppm = Some(val().parse().expect("integer")),
             "--fault-seed" => fault_seed = val().parse().expect("integer"),
@@ -115,10 +135,38 @@ fn main() {
     }
 
     let mut sim = Simulator::new(cfg).expect("valid configuration");
-    if let Some(path) = &timeline {
-        let sink = FileSink::create(path)
-            .unwrap_or_else(|e| panic!("cannot open timeline file {path}: {e}"));
-        sim = sim.with_telemetry(Telemetry::with_sink(Box::new(sink)));
+    let jsonl: Option<Box<dyn EventSink>> = timeline.as_ref().map(|path| {
+        Box::new(
+            FileSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot open timeline file {path}: {e}")),
+        ) as Box<dyn EventSink>
+    });
+    let chrome: Option<Box<dyn EventSink>> = trace_out.as_ref().map(|path| {
+        Box::new(
+            ChromeTraceSink::create(path)
+                .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}")),
+        ) as Box<dyn EventSink>
+    });
+    let sink = match (jsonl, chrome) {
+        (Some(a), Some(b)) => Some(Box::new(TeeSink::new(a, b)) as Box<dyn EventSink>),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    };
+    if let Some(sink) = sink {
+        let mut tel = Telemetry::with_sink(sink);
+        // A Chrome trace without spans is nearly empty, so --trace-out
+        // implies the default 1 % sample; --span-ppm / --spans refine it.
+        if spans || span_ppm.is_some() || trace_out.is_some() {
+            tel = tel.with_spans(SpanConfig {
+                request_sample_ppm: span_ppm.unwrap_or(SpanConfig::default().request_sample_ppm),
+                exec_spans,
+            });
+        }
+        sim = sim.with_telemetry(tel);
+    }
+    if shards > 1 {
+        sim = sim.with_shards(shards);
     }
     let report = sim.run(&trace);
     println!(
@@ -160,15 +208,46 @@ fn main() {
             )
         );
     }
-    if fault_ppm.is_some() || channel_fault_ppm.is_some() {
+    // Always surfaced: a run without an active fault plan prints all
+    // zeros, which is itself the assertion that nothing was injected.
+    let mut fault_flags = String::new();
+    if report.faults.shard_panics > 0 {
+        fault_flags.push_str(&format!(" [{} shard panics]", report.faults.shard_panics));
+    }
+    if report.faults.degraded_to_sequential {
+        fault_flags.push_str(" [degraded to sequential]");
+    }
+    if report.faults.cancelled {
+        fault_flags.push_str(" [cancelled]");
+    }
+    println!(
+        "faults     : {} migrations faulted ({} aborts, {} retries, {} rolled back), {} channel faults{}",
+        report.faults.migration_faults,
+        report.faults.migration_aborts,
+        report.faults.migration_retries,
+        report.migration.aborted,
+        report.faults.channel_faults,
+        fault_flags
+    );
+    if let Some(p) = &report.provenance {
+        let skipped = if p.skipped_moves > 0 {
+            format!(" ({} moves untracked)", p.skipped_moves)
+        } else {
+            String::new()
+        };
         println!(
-            "faults     : {} migrations faulted ({} aborts, {} retries, {} rolled back), {} channel faults",
-            report.faults.migration_faults,
-            report.faults.migration_aborts,
-            report.faults.migration_retries,
-            report.migration.aborted,
-            report.faults.channel_faults
+            "provenance : {} pages moved {} times, {} ping-pong trips{}",
+            p.tracked_pages, p.total_moves, p.ping_pong_trips, skipped
         );
+        if let Some(hot) = p.hottest.first() {
+            println!(
+                "hottest    : page {} ({} moves, {} trips)",
+                hot.page, hot.moves, hot.trips
+            );
+        }
+    }
+    if let Some(path) = &trace_out {
+        println!("trace      : Chrome trace -> {path} (open in ui.perfetto.dev)");
     }
     if let Some(meta) = report.meta_cache {
         println!(

@@ -84,7 +84,7 @@ impl HmaManager {
     fn run_interval(&mut self) -> Vec<Migration> {
         // Candidates: hottest pages above threshold that are not yet fast.
         let ranked = self.counters.hot_pages();
-        let mut candidates: Vec<PageId> = Vec::new();
+        let mut candidates: Vec<(PageId, u64)> = Vec::new();
         let mut hot_set = std::collections::HashSet::new();
         for (page, count) in &ranked {
             if *count < self.hot_threshold {
@@ -92,7 +92,7 @@ impl HmaManager {
             }
             hot_set.insert(*page);
             if self.geo.tier_of_frame(self.remap.frame_of(*page)) == Tier::Slow {
-                candidates.push(*page);
+                candidates.push((*page, *count));
             }
             if candidates.len() >= self.max_migrations {
                 break;
@@ -115,10 +115,11 @@ impl HmaManager {
         victims.sort_unstable_by_key(|&(count, f)| (count, f.0));
 
         let mut migrations = Vec::new();
-        for (page, (_, victim_frame)) in candidates.iter().zip(victims.iter()) {
+        for ((page, count), (_, victim_frame)) in candidates.iter().zip(victims.iter()) {
             let cur = self.remap.frame_of(*page);
             let victim_page = self.remap.page_in(*victim_frame);
-            let m = Migration::page_swap(cur, *victim_frame, *page, victim_page, None);
+            let m = Migration::page_swap(cur, *victim_frame, *page, victim_page, None)
+                .with_hotness(*count);
             self.remap.swap_frames(cur, *victim_frame);
             self.stats.record(&m);
             migrations.push(m);

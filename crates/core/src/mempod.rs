@@ -154,7 +154,7 @@ impl MemPodManager {
         for pod in &mut self.pods {
             let hot = pod.tracker.hot_pages();
             let hot_set: std::collections::HashSet<PageId> = hot.iter().map(|(p, _)| *p).collect();
-            for (page, _count) in hot {
+            for (page, count) in hot {
                 let cur = self.remap.frame_of(page);
                 if self.geo.tier_of_frame(cur) == Tier::Fast {
                     // Already fast: the paper ignores it.
@@ -174,7 +174,8 @@ impl MemPodManager {
                 let Some((slot, resident)) = victim else {
                     break; // every fast frame holds a hot page
                 };
-                let m = Migration::page_swap(cur, slot, page, resident, Some(pod.id));
+                let m = Migration::page_swap(cur, slot, page, resident, Some(pod.id))
+                    .with_hotness(count);
                 self.remap.swap_frames(cur, slot);
                 if let Some(caches) = &mut self.meta_caches {
                     // Both pages' remap entries changed in memory.

@@ -38,6 +38,13 @@ pub struct Migration {
     pub page_b: PageId,
     /// Pod performing the swap, if the manager is pod-clustered.
     pub pod: Option<u32>,
+    /// Tracker hotness (MEA/counter value) of the promoted page at decision
+    /// time; `0` when the mechanism is access-driven (CAMEO) or the tracker
+    /// does not expose a count. Recorded so provenance ledgers can keep the
+    /// "MEA count at decision" without re-querying tracker state that the
+    /// epoch boundary may already have reset.
+    #[serde(default)]
+    pub hotness: u64,
 }
 
 impl Migration {
@@ -57,7 +64,16 @@ impl Migration {
             page_a,
             page_b,
             pod,
+            hotness: 0,
         }
+    }
+
+    /// Tags the swap with the promoted page's tracker count at decision
+    /// time (see [`Migration::hotness`]).
+    #[must_use]
+    pub fn with_hotness(mut self, hotness: u64) -> Self {
+        self.hotness = hotness;
+        self
     }
 
     /// A single-line swap (CAMEO).
@@ -76,6 +92,7 @@ impl Migration {
             page_a,
             page_b,
             pod: None,
+            hotness: 0,
         }
     }
 

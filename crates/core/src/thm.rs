@@ -103,7 +103,8 @@ impl MemoryManager for ThmManager {
                         winner,
                         PageId(self.segs.unit_of(group, displaced)),
                         None,
-                    );
+                    )
+                    .with_hotness(u64::from(self.threshold));
                     self.stats.record(&m);
                     migrations.push(m);
                 }

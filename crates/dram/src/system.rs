@@ -123,6 +123,10 @@ pub struct Completion {
     pub token: ReqToken,
     /// Absolute completion time (including controller latency).
     pub completion: Picos,
+    /// *Global* index of the channel that serviced the request — computed
+    /// from the shard view's residue class, so it is identical whichever
+    /// shard count drained it (service spans use it as a stable track id).
+    pub channel: u32,
 }
 
 /// System-wide statistics, split by tier.
@@ -359,13 +363,15 @@ impl MemorySystem {
     pub fn drain_until(&mut self, until: Picos) -> Vec<Completion> {
         let ctrl = self.layout.ctrl_latency;
         let mut out = Vec::new();
-        for ch in &mut self.channels {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            let global = self.shard_id + u32_from_u64(u64_from_usize(i)) * self.shard_count;
             out.extend(
                 ch.drain_until(until)
                     .into_iter()
                     .map(|(token, done)| Completion {
                         token,
                         completion: done + ctrl,
+                        channel: global,
                     }),
             );
         }

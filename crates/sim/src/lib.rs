@@ -11,6 +11,7 @@
 //! * [`config`] — [`SimConfig`]: manager choice + manager/timing parameters.
 //! * [`simulator`] — the event loop (translate → inject → drain → account).
 //! * [`metrics`] — [`SimReport`] and cross-run aggregation helpers.
+//! * [`provenance`] — per-page migration histories and ping-pong detection.
 //! * [`runner`] — a scoped-thread parallel runner for experiment matrices.
 //!
 //! [`Trace`]: mempod_trace::Trace
@@ -36,12 +37,14 @@
 
 pub mod config;
 pub mod metrics;
+pub mod provenance;
 pub mod runner;
 mod shard;
 pub mod simulator;
 
 pub use config::{SimConfig, SimError};
 pub use metrics::{geometric_mean, normalize_to, FaultSummary, SimReport};
+pub use provenance::{PageMove, PageProvenance, ProvenanceLedger, ProvenanceSummary};
 pub use runner::{
     try_run_jobs, try_run_jobs_with_progress, try_run_jobs_with_watchdog, Job, JobProgress,
     JobState, RunProgress, WatchdogConfig,

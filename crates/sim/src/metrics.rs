@@ -6,6 +6,8 @@ use mempod_telemetry::EpochSnapshot;
 use mempod_types::Picos;
 use serde::{Deserialize, Serialize};
 
+use crate::provenance::ProvenanceSummary;
+
 /// Fault-injection and recovery accounting for one run.
 ///
 /// All zeros / false for a run without an active fault plan, so the
@@ -59,6 +61,11 @@ pub struct SimReport {
     /// plan was active; `default` keeps pre-fault reports deserializable).
     #[serde(default)]
     pub faults: FaultSummary,
+    /// Page provenance totals and hottest-page histories (`None` unless
+    /// the run had telemetry attached; `default` keeps pre-provenance
+    /// reports deserializable).
+    #[serde(default)]
+    pub provenance: Option<ProvenanceSummary>,
     /// Per-epoch snapshots retained by the telemetry ring (empty unless the
     /// run had telemetry attached; the full series streams to the JSONL
     /// sink). Skipped in serialized reports — the timeline's serialized
@@ -82,6 +89,7 @@ impl SimReport {
             injected_meta_requests: 0,
             mem_stats: SystemStats::default(),
             faults: FaultSummary::default(),
+            provenance: None,
             timeline: Vec::new(),
         }
     }

@@ -22,7 +22,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use mempod_core::Migration;
 use mempod_dram::{Completion, MemorySystem, Priority, ReqToken};
 use mempod_faults::backoff_after;
-use mempod_telemetry::EventKind;
+use mempod_telemetry::span::{child_span_id, migration_span_id};
+use mempod_telemetry::{EventKind, SpanName, SpanRecord, SPAN_NONE};
 use mempod_types::convert::{u64_from_usize, usize_from_u32};
 use mempod_types::{AccessKind, FrameId, MigrationFaultSpec, PageId, Picos};
 
@@ -50,15 +51,34 @@ pub(crate) struct Waiter {
     pub(crate) needs_meta: bool,
     /// Page used to spread metadata-fetch addresses.
     pub(crate) page: PageId,
+    /// Request-service span id, or [`SPAN_NONE`] when the request is
+    /// unsampled (or span tracing is off). Derived on the main thread at
+    /// admission from the request's stable identity, so every shard count
+    /// samples the same requests.
+    pub(crate) span: u64,
 }
 
 /// Who a completed token belongs to.
 #[derive(Debug, Clone, Copy)]
 enum TokenOwner {
-    Foreground { arrival: Picos },
-    MigrationRead { mig: usize },
-    MigrationWrite { mig: usize },
-    MetaFetch { waiter: Waiter },
+    Foreground {
+        arrival: Picos,
+        /// Request span id ([`SPAN_NONE`] when unsampled).
+        span: u64,
+        /// Issue time of the foreground access (span phase boundary).
+        issue: Picos,
+        /// Frame serviced (the span's anchor coordinate).
+        frame: FrameId,
+    },
+    MigrationRead {
+        mig: usize,
+    },
+    MigrationWrite {
+        mig: usize,
+    },
+    MetaFetch {
+        waiter: Waiter,
+    },
 }
 
 /// One in-flight migration's execution state.
@@ -74,6 +94,13 @@ pub(crate) struct MigExec {
     /// When the *first* read phase launched (for the completion event's
     /// latency — retries extend the latency, they do not reset it).
     t_start: Picos,
+    /// Lifecycle span id (0 when span tracing is off; migrations are
+    /// always traced when it is on — they are rare and load-bearing).
+    span: u64,
+    /// When the manager committed the swap (the lifecycle span's start).
+    decided: Picos,
+    /// When the *current* read-phase attempt launched (attempt spans).
+    attempt_start: Picos,
     /// Injected-fault budget: read-phase attempts that must still abort.
     aborts_left: u32,
     /// Whether the abort budget ends in a permanent failure (the manager's
@@ -166,6 +193,8 @@ pub(crate) struct Shard {
     /// Whether events are worth buffering (telemetry enabled and the sink
     /// keeps lines).
     events_wanted: bool,
+    /// Whether causal span tracing is on (implies `events_wanted`).
+    spans_enabled: bool,
     /// Buffered `(t_ps, kind)` events since the last barrier flush, in
     /// emission order. The main thread merges buffers across shards in
     /// timestamp-then-shard-id order (`Telemetry::emit_merged`).
@@ -173,8 +202,14 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Wraps one memory-system view as a shard.
-    pub(crate) fn new(mem: MemorySystem, pods: u32, events_wanted: bool) -> Self {
+    /// Wraps one memory-system view as a shard. `spans_enabled` switches
+    /// causal span emission on (only meaningful with `events_wanted`).
+    pub(crate) fn new(
+        mem: MemorySystem,
+        pods: u32,
+        events_wanted: bool,
+        spans_enabled: bool,
+    ) -> Self {
         Shard {
             mem,
             pods,
@@ -193,6 +228,7 @@ impl Shard {
             batches_run: 0,
             prune_watermark: PRUNE_WATERMARK_MIN,
             events_wanted,
+            spans_enabled: spans_enabled && events_wanted,
             events: Vec::new(),
         }
     }
@@ -200,6 +236,43 @@ impl Shard {
     fn event(&mut self, t: Picos, kind: EventKind) {
         if self.events_wanted {
             self.events.push((t.as_ps(), kind));
+        }
+    }
+
+    /// Buffers a completed span, timestamped at its end. Records whose id
+    /// is [`SPAN_NONE`] are unsampled markers and are dropped here — this
+    /// is the shard-side emission gate the `unsampled-span` audit rule
+    /// forces every tick-phase span through.
+    fn push_span(&mut self, rec: SpanRecord) {
+        if rec.id == SPAN_NONE || !self.spans_enabled {
+            return;
+        }
+        self.events.push((rec.end_ps, EventKind::Span(rec)));
+    }
+
+    /// A causal-domain span record: `shard` is always 0 so the stream is
+    /// identical whichever shard (or the sequential path) emits it.
+    #[allow(clippy::too_many_arguments)]
+    fn causal_span(
+        id: u64,
+        parent: u64,
+        name: SpanName,
+        start: Picos,
+        end: Picos,
+        pod: Option<u32>,
+        frame: u64,
+        aux: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start_ps: start.as_ps(),
+            end_ps: end.as_ps(),
+            pod,
+            frame,
+            shard: 0,
+            aux,
         }
     }
 
@@ -297,8 +370,52 @@ impl Shard {
             .remove(&c.token)
             .expect("completion for unknown token");
         match owner {
-            TokenOwner::Foreground { arrival } => {
+            TokenOwner::Foreground {
+                arrival,
+                span,
+                issue,
+                frame,
+            } => {
                 self.total_stall += c.completion.saturating_sub(arrival);
+                if span != SPAN_NONE {
+                    let channel = u64::from(c.channel);
+                    // Root: admission to completion (`aux` = global channel).
+                    self.push_span(Self::causal_span(
+                        span,
+                        SPAN_NONE,
+                        SpanName::Request,
+                        arrival,
+                        c.completion,
+                        None,
+                        frame.0,
+                        channel,
+                    ));
+                    // Gate child: only when admission actually delayed the
+                    // request (blocking, stall, metadata fetch).
+                    if issue > arrival {
+                        self.push_span(Self::causal_span(
+                            child_span_id(span, 0),
+                            span,
+                            SpanName::Gate,
+                            arrival,
+                            issue,
+                            None,
+                            frame.0,
+                            channel,
+                        ));
+                    }
+                    // Service child: channel queue + DRAM service.
+                    self.push_span(Self::causal_span(
+                        child_span_id(span, 1),
+                        span,
+                        SpanName::Service,
+                        issue,
+                        c.completion,
+                        None,
+                        frame.0,
+                        channel,
+                    ));
+                }
             }
             TokenOwner::MigrationRead { mig } => {
                 /// What a completed read phase leads to.
@@ -339,6 +456,20 @@ impl Shard {
                 }
             }
             TokenOwner::MetaFetch { mut waiter } => {
+                if waiter.span != SPAN_NONE {
+                    // The fetch ran from the waiter's pre-completion issue
+                    // time to this completion.
+                    self.push_span(Self::causal_span(
+                        child_span_id(waiter.span, 2),
+                        waiter.span,
+                        SpanName::MetaFetch,
+                        waiter.issue,
+                        c.completion,
+                        None,
+                        waiter.frame.0,
+                        u64::from(c.channel),
+                    ));
+                }
                 waiter.issue = waiter.issue.max(c.completion);
                 waiter.needs_meta = false;
                 self.dispatch(waiter);
@@ -374,7 +505,7 @@ impl Shard {
     /// map entries were already rolled back at admission, so releasing its
     /// pages and waiters leaves the address map exactly as before.
     fn abort_attempt(&mut self, mig: usize, at: Picos) {
-        let (m, attempt, conflicting, give_up) = {
+        let (m, attempt, conflicting, give_up, span, attempt_start) = {
             let e = &mut self.migs[mig];
             e.aborts_left -= 1;
             // Cause labelling: a parked writer means the abort races a
@@ -385,9 +516,24 @@ impl Shard {
                 e.attempt,
                 conflicting,
                 e.aborts_left == 0 && e.permanent,
+                e.span,
+                e.attempt_start,
             )
         };
         self.fault_aborts += 1;
+        if span != SPAN_NONE {
+            // The aborted attempt: launch to the abort point.
+            self.push_span(Self::causal_span(
+                child_span_id(span, 2 * u64::from(attempt)),
+                span,
+                SpanName::MigrationAttempt,
+                attempt_start,
+                at,
+                m.pod,
+                m.frame_a.0,
+                u64::from(attempt),
+            ));
+        }
         self.event(
             at,
             EventKind::MigrationAbort {
@@ -412,6 +558,7 @@ impl Shard {
         } else {
             let backoff = backoff_after(self.backoff_base, self.backoff_cap, attempt);
             self.migs[mig].attempt = attempt + 1;
+            self.migs[mig].attempt_start = at + backoff;
             self.fault_retries += 1;
             self.event(
                 at,
@@ -423,6 +570,19 @@ impl Shard {
                     backoff_ps: backoff.as_ps(),
                 },
             );
+            if span != SPAN_NONE {
+                // The simulated-time backoff window before the retry.
+                self.push_span(Self::causal_span(
+                    child_span_id(span, 2 * u64::from(attempt) + 1),
+                    span,
+                    SpanName::MigrationBackoff,
+                    at,
+                    at + backoff,
+                    m.pod,
+                    m.frame_a.0,
+                    u64::from(attempt + 1),
+                ));
+            }
             self.submit_reads(mig, at + backoff);
         }
     }
@@ -449,6 +609,42 @@ impl Shard {
                     latency_ps: latency.as_ps(),
                 },
             );
+        }
+        let (span, decided, attempt, attempt_start) = {
+            let e = &self.migs[mig];
+            (e.span, e.decided, e.attempt, e.attempt_start)
+        };
+        if span != SPAN_NONE {
+            if !failed {
+                // The successful final attempt (aborted lifecycles already
+                // closed their last attempt span at the abort point).
+                self.push_span(Self::causal_span(
+                    child_span_id(span, 2 * u64::from(attempt)),
+                    span,
+                    SpanName::MigrationAttempt,
+                    attempt_start,
+                    finish,
+                    m.pod,
+                    m.frame_a.0,
+                    u64::from(attempt),
+                ));
+            }
+            // Lifecycle root: decision to commit (or rollback).
+            let name = if failed {
+                SpanName::MigrationAborted
+            } else {
+                SpanName::Migration
+            };
+            self.push_span(Self::causal_span(
+                span,
+                SPAN_NONE,
+                name,
+                decided,
+                finish,
+                m.pod,
+                m.frame_a.0,
+                u64::from(attempt),
+            ));
         }
         for page in [m.page_a, m.page_b] {
             if let Some(PageState::Migrating(idx)) = self.blocked.get(&page) {
@@ -486,8 +682,15 @@ impl Shard {
             self.injected_meta += 1;
         } else {
             let tok = self.mem.submit(w.frame, w.line, w.kind, w.issue);
-            self.owners
-                .insert(tok, TokenOwner::Foreground { arrival: w.arrival });
+            self.owners.insert(
+                tok,
+                TokenOwner::Foreground {
+                    arrival: w.arrival,
+                    span: w.span,
+                    issue: w.issue,
+                    frame: w.frame,
+                },
+            );
         }
     }
 
@@ -508,10 +711,21 @@ impl Shard {
                 page_a: m.page_a.0,
                 page_b: m.page_b.0,
                 pod: m.pod,
+                frame_a: m.frame_a.0,
+                frame_b: m.frame_b.0,
+                hotness: m.hotness,
             },
         );
         let (aborts_left, permanent) =
             spec.map_or((0, false), |s| (s.failed_attempts, s.permanent));
+        // Lifecycle span identity: pure function of the swap's coordinates
+        // and decision time, so every shard count derives the same id.
+        // Migrations are always traced when spans are on (no sampling).
+        let span = if self.spans_enabled {
+            migration_span_id(m.frame_a.0, m.frame_b.0, at.as_ps())
+        } else {
+            SPAN_NONE
+        };
         self.migs.push(MigExec {
             m,
             pending: 0,
@@ -521,6 +735,9 @@ impl Shard {
             done: false,
             finish: Picos::MAX,
             t_start: at,
+            span,
+            decided: at,
+            attempt_start: at,
             aborts_left,
             permanent,
             attempt: 1,
@@ -558,6 +775,7 @@ impl Shard {
             let e = &mut self.migs[mig];
             e.started = true;
             e.t_start = at;
+            e.attempt_start = at;
         }
         self.submit_reads(mig, at);
     }

@@ -44,13 +44,17 @@ use std::time::Instant;
 use mempod_core::{build_manager, MemoryManager, Migration};
 use mempod_dram::{ChannelProbe, Interleave, MemorySystem, SystemStats};
 use mempod_faults::FaultPlan;
-use mempod_telemetry::{EpochSnapshot, EventKind, Log2Histogram, PhaseClock, Telemetry};
+use mempod_telemetry::span::{exec_span_id, request_span_id};
+use mempod_telemetry::{
+    EpochSnapshot, EventKind, Log2Histogram, PhaseClock, SpanName, SpanRecord, Telemetry, SPAN_NONE,
+};
 use mempod_trace::Trace;
 use mempod_types::convert::{u32_from_u64, u64_from_usize, usize_from_u32, usize_from_u64};
 use mempod_types::{EngineError, MigrationFaultSpec, Picos};
 
 use crate::config::{SimConfig, SimError};
 use crate::metrics::SimReport;
+use crate::provenance::ProvenanceLedger;
 use crate::shard::{gcd, Shard, ShardSet, Waiter, WorkItem};
 
 /// Consecutive metadata-cache misses that qualify as a burst event.
@@ -611,8 +615,12 @@ impl Simulator {
         let mut faulted_migrations = 0u64;
         let mut cancelled = false;
 
+        let span_cfg = self.tel.span_config();
+        let mut ledger = telemetry_on
+            .then(|| ProvenanceLedger::new(self.mem.layout().fast_frames, self.cfg.mgr.epoch));
+
         let pods = self.cfg.mgr.geometry.pods();
-        let mut eng = Shard::new(self.mem, pods, events_wanted);
+        let mut eng = Shard::new(self.mem, pods, events_wanted, span_cfg.is_some());
         if let Some(p) = &plan {
             eng.backoff_base = p.config().migration_backoff;
             eng.backoff_cap = p.config().migration_backoff_cap;
@@ -667,6 +675,18 @@ impl Simulator {
                 req.arrival,
                 &mut faulted_migrations,
             ) {
+                if let Some(ldg) = ledger.as_mut() {
+                    for pong in ldg.record(&m, req.arrival, spec.is_some_and(|s| s.permanent)) {
+                        self.tel.event(
+                            req.arrival.as_ps(),
+                            EventKind::PagePingPong {
+                                page: pong.page,
+                                round_trip_ps: pong.round_trip_ps,
+                                trips: pong.trips,
+                            },
+                        );
+                    }
+                }
                 eng.enqueue_migration(m, req.arrival, spec);
             }
             #[cfg(feature = "debug-invariants")]
@@ -688,6 +708,12 @@ impl Simulator {
                 kind: req.kind,
                 needs_meta: outcome.meta_miss,
                 page: req.addr.page(),
+                span: request_span(
+                    span_cfg,
+                    req.addr.page().0,
+                    outcome.line_in_page,
+                    req.arrival,
+                ),
             };
             eng.admit(req.addr.page(), w);
             requests_so_far += 1;
@@ -757,6 +783,7 @@ impl Simulator {
         report.faults.migration_retries = eng.fault_retries;
         report.faults.migration_aborts = eng.fault_aborts;
         report.faults.channel_faults = report.mem_stats.total().faults_injected;
+        report.provenance = ledger.as_ref().map(ProvenanceLedger::summary);
         if cancelled {
             report.faults.cancelled = true;
             report.requests = requests_so_far;
@@ -793,6 +820,10 @@ impl Simulator {
         let mut faulted_migrations = 0u64;
         let mut cancelled = false;
 
+        let span_cfg = self.tel.span_config();
+        let mut ledger = telemetry_on
+            .then(|| ProvenanceLedger::new(self.mem.layout().fast_frames, self.cfg.mgr.epoch));
+
         let pods = self.cfg.mgr.geometry.pods();
         let nu = u64::from(n);
         // Leave a fresh (never-run) system in `self.mem` so `self` stays
@@ -804,7 +835,7 @@ impl Simulator {
             shards: mem
                 .into_shards(n)
                 .into_iter()
-                .map(|mem| Shard::new(mem, pods, events_wanted))
+                .map(|mem| Shard::new(mem, pods, events_wanted, span_cfg.is_some()))
                 .collect(),
         };
         if let Some(p) = &plan {
@@ -827,6 +858,8 @@ impl Simulator {
         let mut arrivals: Vec<Picos> = Vec::with_capacity(BATCH_TICKS + 1);
         let mut work: Vec<Vec<(u32, WorkItem)>> = (0..n).map(|_| Vec::new()).collect();
         let mut main_events: Vec<(u64, EventKind)> = Vec::new();
+        let exec_spans = span_cfg.is_some_and(|sc| sc.exec_spans);
+        let mut exec_seq = 0u64;
         #[cfg(feature = "debug-invariants")]
         let mut batch_migrated = false;
 
@@ -856,6 +889,7 @@ impl Simulator {
                     &mut self.tel,
                     &mut main_events,
                     events_wanted,
+                    exec_spans.then_some(&mut exec_seq),
                 ) {
                     let flushed = requests_so_far - progress_batch;
                     return self.degrade(trace, shard, flushed, req.arrival);
@@ -900,6 +934,20 @@ impl Simulator {
                 req.arrival,
                 &mut faulted_migrations,
             ) {
+                if let Some(ldg) = ledger.as_mut() {
+                    for pong in ldg.record(&m, req.arrival, spec.is_some_and(|s| s.permanent)) {
+                        if events_wanted {
+                            main_events.push((
+                                req.arrival.as_ps(),
+                                EventKind::PagePingPong {
+                                    page: pong.page,
+                                    round_trip_ps: pong.round_trip_ps,
+                                    trips: pong.trips,
+                                },
+                            ));
+                        }
+                    }
+                }
                 let s = usize_from_u64(m.frame_a.0 % nu);
                 work[s].push((tick, WorkItem::Migrate(m, spec)));
             }
@@ -912,6 +960,12 @@ impl Simulator {
                 kind: req.kind,
                 needs_meta: outcome.meta_miss,
                 page: req.addr.page(),
+                span: request_span(
+                    span_cfg,
+                    req.addr.page().0,
+                    outcome.line_in_page,
+                    req.arrival,
+                ),
             };
             let s = usize_from_u64(outcome.frame.0 % nu);
             work[s].push((
@@ -943,6 +997,7 @@ impl Simulator {
                     &mut self.tel,
                     &mut main_events,
                     events_wanted,
+                    exec_spans.then_some(&mut exec_seq),
                 ) {
                     let flushed = requests_so_far - progress_batch;
                     return self.degrade(trace, shard, flushed, req.arrival);
@@ -979,6 +1034,7 @@ impl Simulator {
             &mut self.tel,
             &mut main_events,
             events_wanted,
+            exec_spans.then_some(&mut exec_seq),
         ) {
             let flushed = requests_so_far - progress_batch;
             return self.degrade(trace, shard, flushed, trace.duration());
@@ -1042,6 +1098,7 @@ impl Simulator {
         report.faults.migration_retries = shards.iter().map(|sh| sh.fault_retries).sum();
         report.faults.migration_aborts = shards.iter().map(|sh| sh.fault_aborts).sum();
         report.faults.channel_faults = report.mem_stats.total().faults_injected;
+        report.provenance = ledger.as_ref().map(ProvenanceLedger::summary);
         if cancelled {
             report.faults.cancelled = true;
             report.requests = requests_so_far;
@@ -1098,6 +1155,32 @@ impl Simulator {
     }
 }
 
+/// The sampled request-service span id for one admission, or [`SPAN_NONE`]
+/// when span tracing is off or the request is unsampled.
+///
+/// The identity mixes the request's *pre-translation* coordinates (page,
+/// line offset, arrival) — values both event-loop paths see identically
+/// before any sharding decision — so every shard count (and the sequential
+/// reference) derives and samples the same span ids without coordination.
+fn request_span(
+    cfg: Option<mempod_telemetry::SpanConfig>,
+    page: u64,
+    line: u32,
+    arrival: Picos,
+) -> u64 {
+    match cfg {
+        Some(sc) => {
+            let id = request_span_id(page, u64::from(line), arrival.as_ps());
+            if sc.sample_request(id) {
+                id
+            } else {
+                SPAN_NONE
+            }
+        }
+        None => SPAN_NONE,
+    }
+}
+
 /// Decides fault outcomes for one batch of committed migrations (on the
 /// main thread, so every shard count sees identical verdicts) and rolls
 /// the permanently-doomed ones back out of the manager's map in reverse
@@ -1132,6 +1215,13 @@ fn decide_migration_faults(
 /// One barrier: run the accumulated batch on every shard, merge the
 /// buffered telemetry deterministically, and reset the batch.
 ///
+/// With `exec_seq` set (execution-span tracing on), the barrier also emits
+/// one [`SpanName::ShardBatch`] span per shard covering this batch's
+/// simulated window (aux = work items routed to the shard) plus one
+/// [`SpanName::Barrier`] marker, all in *simulated* time — wall clock
+/// never reaches the event stream. The final flush batch (horizon
+/// [`Picos::MAX`]) is skipped: it has no finite window to draw.
+///
 /// # Errors
 ///
 /// Returns the index of the first (lowest-numbered) shard whose worker
@@ -1148,6 +1238,7 @@ fn barrier(
     tel: &mut Telemetry,
     main_events: &mut Vec<(u64, EventKind)>,
     events_wanted: bool,
+    exec_seq: Option<&mut u64>,
 ) -> Result<(), u32> {
     if arrivals.is_empty() {
         return Ok(());
@@ -1155,7 +1246,48 @@ fn barrier(
     if let (Some(c), Some(t0)) = (clock, admit_start.as_ref()) {
         c.record_admission(elapsed_ns(t0));
     }
+    let window = exec_seq.map(|seq| {
+        *seq += 1;
+        (
+            *seq,
+            arrivals.first().map_or(0, |p| p.as_ps()),
+            arrivals.last().map_or(0, |p| p.as_ps()),
+            work.iter().map(Vec::len).collect::<Vec<usize>>(),
+        )
+    });
     run_batch(shards, arrivals, work, serial, clock)?;
+    if let Some((seq, start, end, counts)) = window.filter(|&(_, _, end, _)| end != u64::MAX) {
+        let exec_span = |id: u64, name: SpanName, start_ps: u64, shard: u32, aux: u64| SpanRecord {
+            id,
+            parent: SPAN_NONE,
+            name,
+            start_ps,
+            end_ps: end,
+            pod: None,
+            frame: 0,
+            shard,
+            aux,
+        };
+        for (i, count) in counts.into_iter().enumerate() {
+            let rec = exec_span(
+                exec_span_id(u64_from_usize(i), seq),
+                SpanName::ShardBatch,
+                start,
+                u32_from_u64(u64_from_usize(i)),
+                u64_from_usize(count),
+            );
+            main_events.push((end, EventKind::Span(rec)));
+        }
+        let nshards = u64_from_usize(shards.len());
+        let rec = exec_span(
+            exec_span_id(nshards, seq),
+            SpanName::Barrier,
+            end,
+            u32_from_u64(nshards),
+            seq,
+        );
+        main_events.push((end, EventKind::Span(rec)));
+    }
     if events_wanted {
         merge_events(tel, shards, main_events);
     }
@@ -1563,6 +1695,77 @@ mod tests {
         assert_eq!(ref_report, shard_report);
         assert_eq!(ref_report.timeline, shard_report.timeline);
         assert_eq!(ref_lines, shard_lines);
+    }
+
+    /// The causal span stream (requests at full sampling + migration
+    /// lifecycles, execution spans off) is byte-identical — modulo sink
+    /// buffering order, hence the sort — between the sequential reference
+    /// and every accepted shard count.
+    #[test]
+    fn traced_runs_are_bit_identical_across_shard_counts() {
+        let trace = demo_trace(40_000);
+        let run = |shards: Option<u32>| {
+            let sink = mempod_telemetry::MemorySink::new();
+            let lines = sink.handle();
+            let cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+            let sim = Simulator::new(cfg).expect("valid").with_telemetry(
+                Telemetry::with_sink(Box::new(sink))
+                    .with_spans(mempod_telemetry::SpanConfig::full()),
+            );
+            let report = match shards {
+                Some(k) => sim.with_shards(k).run(&trace),
+                None => sim.run_reference(&trace),
+            };
+            let mut lines = lines.lock().expect("sink mutex").clone();
+            lines.sort();
+            (report, lines)
+        };
+        let (ref_report, ref_lines) = run(None);
+        assert!(
+            ref_lines.iter().any(|l| l.contains("\"Request\"")),
+            "request spans were traced"
+        );
+        assert!(
+            ref_lines.iter().any(|l| l.contains("\"Migration\"")),
+            "migration lifecycle spans were traced"
+        );
+        for k in [2, 4, 8] {
+            let (shard_report, shard_lines) = run(Some(k));
+            assert_eq!(ref_report, shard_report, "{k} shards: report");
+            assert_eq!(ref_lines, shard_lines, "{k} shards: span stream");
+        }
+    }
+
+    /// Execution spans are opt-in, live on their own (per-shard-count)
+    /// tracks, and never contaminate the causal stream.
+    #[test]
+    fn exec_spans_attribute_batches_to_shards() {
+        let trace = demo_trace(20_000);
+        let sink = mempod_telemetry::MemorySink::new();
+        let lines = sink.handle();
+        let cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+        let report = Simulator::new(cfg)
+            .expect("valid")
+            .with_telemetry(Telemetry::with_sink(Box::new(sink)).with_spans(
+                mempod_telemetry::SpanConfig {
+                    request_sample_ppm: 0,
+                    exec_spans: true,
+                },
+            ))
+            .with_shards(4)
+            .run(&trace);
+        assert!(report.requests > 0);
+        let lines = lines.lock().expect("sink mutex").clone();
+        assert!(
+            lines.iter().any(|l| l.contains("\"ShardBatch\"")),
+            "shard batch windows were traced"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("\"Barrier\"")),
+            "barrier crossings were traced"
+        );
+        // Requests were sampled out entirely.
+        assert!(!lines.iter().any(|l| l.contains("\"Request\"")));
     }
 
     #[test]

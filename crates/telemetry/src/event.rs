@@ -5,6 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ring::EpochSnapshot;
+use crate::span::SpanRecord;
 
 /// What happened.
 ///
@@ -46,6 +47,13 @@ pub enum EventKind {
         page_b: u64,
         /// Pod owning the remap entry, if clustered.
         pod: Option<u32>,
+        /// Frame `page_a` occupied before the swap.
+        frame_a: u64,
+        /// Frame `page_b` occupied before the swap.
+        frame_b: u64,
+        /// Tracker count of the promoted page at decision time (0 when the
+        /// mechanism exposes none).
+        hotness: u64,
     },
     /// A run of consecutive metadata-cache misses ended, having reached at
     /// least the configured burst threshold.
@@ -144,6 +152,20 @@ pub enum EventKind {
         /// Requests simulated.
         requests: u64,
     },
+    /// A completed causal/execution span (see [`SpanRecord`]). The event's
+    /// `t_ps` is the span's end time, so the merged stream stays ordered
+    /// by when things were *known*, not when they began.
+    Span(SpanRecord),
+    /// The provenance ledger detected a page ping-ponging between tiers:
+    /// it returned to a tier it had left within the detection window.
+    PagePingPong {
+        /// The page bouncing between tiers.
+        page: u64,
+        /// Simulated time from leaving the tier to returning to it.
+        round_trip_ps: u64,
+        /// Round trips observed for this page so far (1-based).
+        trips: u32,
+    },
 }
 
 /// A timestamped event.
@@ -167,10 +189,46 @@ impl Event {
 
     /// Renders the event as one JSON line (no trailing newline).
     pub fn to_jsonl(&self) -> String {
+        // Spans are the only event emitted per *request* (albeit sampled),
+        // so they get a hand-rolled serializer: the vendored Value model
+        // costs microseconds per line, which alone blows the < 2 % tracing
+        // budget. The output is byte-identical to the derive's (pinned by
+        // `span_fast_path_matches_derived_serialization`).
+        if let EventKind::Span(s) = &self.kind {
+            return span_jsonl(self.t_ps, s);
+        }
         // Serialization through the vendored Value model is infallible for
         // derived types; an empty line would only signal a shim bug.
         serde_json::to_string(self).unwrap_or_default()
     }
+}
+
+/// Hand-rolled rendering of a span line, byte-identical to the serde
+/// derive's output for [`Event`] wrapping [`EventKind::Span`].
+fn span_jsonl(t_ps: u64, s: &SpanRecord) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(192);
+    let _ = write!(
+        out,
+        "{{\"t_ps\":{t_ps},\"kind\":{{\"Span\":{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ps\":{},\"end_ps\":{},\"pod\":",
+        s.id,
+        s.parent,
+        s.name.as_str(),
+        s.start_ps,
+        s.end_ps,
+    );
+    match s.pod {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"frame\":{},\"shard\":{},\"aux\":{}}}}}}}",
+        s.frame, s.shard, s.aux
+    );
+    out
 }
 
 #[cfg(test)]
@@ -204,6 +262,9 @@ mod tests {
                     page_a: 1,
                     page_b: 2,
                     pod: Some(0),
+                    frame_a: 17,
+                    frame_b: 3,
+                    hotness: 64,
                 },
             ),
             Event::new(40, EventKind::MetaMissBurst { len: 17 }),
@@ -261,6 +322,28 @@ mod tests {
             Event::new(110, EventKind::ShardPanic { shard: 3 }),
             Event::new(120, EventKind::DegradedToSequential { shard: 3 }),
             Event::new(130, EventKind::JobTimeout { job: 2 }),
+            Event::new(
+                140,
+                EventKind::Span(SpanRecord {
+                    id: crate::span::request_span_id(9, 1, 77),
+                    parent: crate::span::SPAN_NONE,
+                    name: crate::span::SpanName::Request,
+                    start_ps: 77,
+                    end_ps: 140,
+                    pod: None,
+                    frame: 9,
+                    shard: 0,
+                    aux: 0,
+                }),
+            ),
+            Event::new(
+                150,
+                EventKind::PagePingPong {
+                    page: 42,
+                    round_trip_ps: 2_000_000,
+                    trips: 3,
+                },
+            ),
         ];
         for e in samples {
             let back = Event::deserialize(&e.to_value()).expect("round trip");
@@ -276,5 +359,45 @@ mod tests {
         let v = serde_json::from_str(&line).expect("valid json");
         let back = Event::deserialize(&v).expect("round trip");
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn span_fast_path_matches_derived_serialization() {
+        use crate::span::{SpanName, SpanRecord, SPAN_NONE};
+        let names = [
+            SpanName::Request,
+            SpanName::Gate,
+            SpanName::Service,
+            SpanName::MetaFetch,
+            SpanName::Migration,
+            SpanName::MigrationAborted,
+            SpanName::MigrationAttempt,
+            SpanName::MigrationBackoff,
+            SpanName::ShardBatch,
+            SpanName::Barrier,
+        ];
+        for (i, name) in names.into_iter().enumerate() {
+            for pod in [None, Some(0), Some(u32::MAX)] {
+                let rec = SpanRecord {
+                    id: if i == 0 { u64::MAX } else { i as u64 },
+                    parent: if i % 2 == 0 { SPAN_NONE } else { 7 },
+                    name,
+                    start_ps: 0,
+                    end_ps: u64::MAX - 1,
+                    pod,
+                    frame: 1 << 40,
+                    shard: i as u32,
+                    aux: u64::from(u32::MAX) + 3,
+                };
+                let e = Event::new(u64::MAX, EventKind::Span(rec));
+                // The fast path must be indistinguishable from the derive:
+                // the differential trace tests compare raw lines.
+                assert_eq!(
+                    e.to_jsonl(),
+                    serde_json::to_string(&e).expect("derived serialization"),
+                    "fast path diverged for {name:?} pod {pod:?}"
+                );
+            }
+        }
     }
 }

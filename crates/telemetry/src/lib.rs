@@ -12,7 +12,11 @@
 //! * structured [`Event`]s (migration start/complete, remap swaps,
 //!   meta-cache miss bursts, refresh stalls, queue-depth high-water marks,
 //!   runner job progress) serialized as JSONL through a pluggable
-//!   [`EventSink`] ([`NullSink`] / [`FileSink`] / [`MemorySink`]).
+//!   [`EventSink`] ([`NullSink`] / [`FileSink`] / [`MemorySink`] /
+//!   [`TeeSink`], plus the Perfetto-loadable [`ChromeTraceSink`]);
+//! * deterministic causal [`span`]s ([`SpanRecord`]) over request service,
+//!   migration lifecycles and shard batches, sampled by a pure hash of
+//!   their stable identities ([`SpanConfig`]).
 //!
 //! The design is *pull-based*: producers keep cheap cumulative counters and
 //! the epoch driver in `mempod-sim` diffs them at epoch boundaries, so the
@@ -34,17 +38,21 @@
 //! assert_eq!(lines.lock().unwrap().len(), 1);
 //! ```
 
+mod chrome;
 mod event;
 mod metrics;
 mod phase;
 mod ring;
 mod sink;
+pub mod span;
 
+pub use chrome::ChromeTraceSink;
 pub use event::{Event, EventKind};
 pub use metrics::{CounterId, GaugeId, HistogramId, Log2Histogram, MetricRegistry, LOG2_BUCKETS};
 pub use phase::PhaseClock;
 pub use ring::{EpochSnapshot, SnapshotRing};
-pub use sink::{EventSink, FileSink, MemorySink, NullSink};
+pub use sink::{DiscardSink, EventSink, FileSink, MemorySink, NullSink, TeeSink};
+pub use span::{SpanConfig, SpanName, SpanRecord, SPAN_NONE};
 
 /// Default number of epoch snapshots retained in memory.
 pub const DEFAULT_RING_CAPACITY: usize = 1024;
@@ -64,6 +72,8 @@ pub struct Telemetry {
     /// Recent epoch snapshots.
     pub ring: SnapshotRing,
     sink: Box<dyn EventSink>,
+    /// Causal span tracing, if switched on ([`Telemetry::with_spans`]).
+    spans: Option<SpanConfig>,
 }
 
 impl Default for Telemetry {
@@ -80,6 +90,7 @@ impl Telemetry {
             registry: MetricRegistry::new(),
             ring: SnapshotRing::new(0),
             sink: Box::new(NullSink),
+            spans: None,
         }
     }
 
@@ -95,6 +106,25 @@ impl Telemetry {
             registry: MetricRegistry::new(),
             ring: SnapshotRing::new(DEFAULT_RING_CAPACITY),
             sink,
+            spans: None,
+        }
+    }
+
+    /// Switches span tracing on with `cfg` (builder-style).
+    #[must_use]
+    pub fn with_spans(mut self, cfg: SpanConfig) -> Self {
+        self.spans = Some(cfg);
+        self
+    }
+
+    /// The active span configuration: `None` when span tracing is off or
+    /// this telemetry records nothing. Producers fetch this once per run
+    /// and derive every sampling decision from it.
+    pub fn span_config(&self) -> Option<SpanConfig> {
+        if self.wants_events() {
+            self.spans
+        } else {
+            None
         }
     }
 
@@ -118,8 +148,19 @@ impl Telemetry {
         if !self.wants_events() {
             return;
         }
-        let line = Event::new(t_ps, kind).to_jsonl();
-        self.sink.emit(&line);
+        let ev = Event::new(t_ps, kind);
+        self.sink.emit_event(&ev);
+    }
+
+    /// Emits a completed span as an [`EventKind::Span`] event, timestamped
+    /// at its end. Records whose id is [`SPAN_NONE`] are unsampled markers
+    /// and are dropped here — this is the single gate the audit rule
+    /// `unsampled-span` forces tick-phase emitters through.
+    pub fn emit_span(&mut self, rec: SpanRecord) {
+        if rec.id == SPAN_NONE {
+            return;
+        }
+        self.event(rec.end_ps, EventKind::Span(rec));
     }
 
     /// Drains per-shard event buffers (indexed by shard id) and emits them
@@ -153,8 +194,8 @@ impl Telemetry {
             return;
         }
         if self.sink.wants_lines() {
-            let line = Event::new(snap.t_ps, EventKind::Epoch(snap.clone())).to_jsonl();
-            self.sink.emit(&line);
+            let ev = Event::new(snap.t_ps, EventKind::Epoch(snap.clone()));
+            self.sink.emit_event(&ev);
         }
         self.ring.push(snap);
     }
@@ -225,6 +266,41 @@ mod tests {
     }
 
     #[test]
+    fn emit_span_drops_unsampled_markers_and_stamps_end_time() {
+        let sink = MemorySink::new();
+        let lines = sink.handle();
+        let mut tel = Telemetry::with_sink(Box::new(sink)).with_spans(SpanConfig::full());
+        assert_eq!(tel.span_config(), Some(SpanConfig::full()));
+        let mut rec = SpanRecord {
+            id: span::request_span_id(3, 0, 10),
+            parent: SPAN_NONE,
+            name: SpanName::Request,
+            start_ps: 10,
+            end_ps: 40,
+            pod: None,
+            frame: 3,
+            shard: 0,
+            aux: 0,
+        };
+        tel.emit_span(rec);
+        rec.id = SPAN_NONE;
+        tel.emit_span(rec); // unsampled: dropped
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        let v: serde_json::Value = serde_json::from_str(&lines[0]).expect("json");
+        assert_eq!(v["t_ps"].as_u64(), Some(40));
+        assert!(lines[0].contains("Span"));
+    }
+
+    #[test]
+    fn span_config_is_hidden_when_nothing_records() {
+        let tel = Telemetry::null().with_spans(SpanConfig::full());
+        assert_eq!(tel.span_config(), None); // null sink discards lines
+        let tel = Telemetry::disabled().with_spans(SpanConfig::full());
+        assert_eq!(tel.span_config(), None);
+    }
+
+    #[test]
     fn sink_receives_events_and_snapshots() {
         let sink = MemorySink::new();
         let lines = sink.handle();
@@ -235,6 +311,9 @@ mod tests {
                 page_a: 1,
                 page_b: 2,
                 pod: None,
+                frame_a: 1,
+                frame_b: 2,
+                hotness: 0,
             },
         );
         tel.snapshot(EpochSnapshot::empty(1, 100));

@@ -6,6 +6,8 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use crate::event::Event;
+
 /// Destination for rendered JSONL event lines.
 ///
 /// Implementations receive one line per event, without the trailing
@@ -22,6 +24,14 @@ pub trait EventSink: fmt::Debug + Send {
     /// Consumes one JSONL line.
     fn emit(&mut self, line: &str);
 
+    /// Consumes one structured event. The default renders the event as a
+    /// JSONL line and forwards to [`EventSink::emit`]; structure-aware
+    /// sinks (the Chrome trace exporter, tee fan-out) override this to see
+    /// the typed event before it is flattened to text.
+    fn emit_event(&mut self, event: &Event) {
+        self.emit(&event.to_jsonl());
+    }
+
     /// Flushes buffered output (end of run).
     fn flush(&mut self) {}
 }
@@ -36,6 +46,34 @@ impl EventSink for NullSink {
     }
 
     fn emit(&mut self, _line: &str) {}
+}
+
+/// Accepts every event — so emitters render spans and events exactly as
+/// they would for a real sink — then drops the rendered line. This is the
+/// benchmarking sink: it prices the full produce-and-serialize path without
+/// any I/O, unlike [`NullSink`], whose `wants_lines() == false` short-
+/// circuits production entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardSink {
+    lines: u64,
+}
+
+impl DiscardSink {
+    /// A fresh discarding sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lines rendered and dropped so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl EventSink for DiscardSink {
+    fn emit(&mut self, _line: &str) {
+        self.lines += 1;
+    }
 }
 
 /// Streams events to a file, one JSON object per line.
@@ -106,6 +144,44 @@ impl EventSink for MemorySink {
         if let Ok(mut lines) = self.lines.lock() {
             lines.push(line.to_string());
         }
+    }
+}
+
+/// Fans every event out to two sinks — e.g. a JSONL timeline *and* a
+/// Chrome trace from the same run (`simrun --timeline … --trace-out …`).
+#[derive(Debug)]
+pub struct TeeSink {
+    a: Box<dyn EventSink>,
+    b: Box<dyn EventSink>,
+}
+
+impl TeeSink {
+    /// Couples two sinks.
+    pub fn new(a: Box<dyn EventSink>, b: Box<dyn EventSink>) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl EventSink for TeeSink {
+    fn wants_lines(&self) -> bool {
+        self.a.wants_lines() || self.b.wants_lines()
+    }
+
+    fn emit(&mut self, line: &str) {
+        self.a.emit(line);
+        self.b.emit(line);
+    }
+
+    fn emit_event(&mut self, event: &Event) {
+        // Forward the *typed* event so a structure-aware branch (Chrome
+        // exporter) keeps its override even behind the tee.
+        self.a.emit_event(event);
+        self.b.emit_event(event);
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
     }
 }
 

@@ -9,7 +9,10 @@
 
 use std::collections::HashMap;
 
-use mempod_telemetry::{EpochSnapshot, Event, EventKind, Log2Histogram, SnapshotRing};
+use mempod_telemetry::{
+    EpochSnapshot, Event, EventKind, Log2Histogram, MemorySink, SnapshotRing, Telemetry,
+    DEFAULT_RING_CAPACITY,
+};
 use proptest::prelude::*;
 use serde::Deserialize as _;
 
@@ -158,6 +161,105 @@ proptest! {
         let value = serde_json::from_str(&line).expect("valid JSON line");
         let back = Event::deserialize(&value).expect("round trip");
         prop_assert_eq!(back, event);
+    }
+}
+
+proptest! {
+    // Each case wraps the snapshot ring (1024+ pushes) four times over,
+    // so run fewer cases than the cheap histogram properties above.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The barrier-time merge contract, end to end: one deterministic
+    /// global event stream, partitioned round-robin over 1/2/4/8 shard
+    /// buffers and drained through `emit_merged` in batches — with enough
+    /// snapshots interleaved between batches to wrap the ring mid-stream —
+    /// always (i) drains every buffer, (ii) emits each batch sorted by
+    /// `(t_ps, shard)` with per-shard emission order preserved on ties,
+    /// and (iii) emits the same event multiset whatever the shard count.
+    #[test]
+    fn merged_emission_orders_by_time_then_shard_across_ring_wrap(
+        seed in 1u64..u64::MAX,
+        n in 1usize..300,
+        batches in 1usize..6,
+        tie_shift in 50u32..62,
+    ) {
+        let mut per_shard_count: Vec<Vec<(u64, u64)>> = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let sink = MemorySink::new();
+            let lines = sink.handle();
+            let mut tel = Telemetry::with_sink(Box::new(sink));
+            // `tie_shift` collapses timestamps into a small range, so
+            // equal-time events across different shards are common and the
+            // shard-id tie-break is exercised rather than dodged.
+            let mut x = seed;
+            let mut bufs: Vec<Vec<(u64, EventKind)>> = vec![Vec::new(); shards];
+            let snaps_per_batch = DEFAULT_RING_CAPACITY / batches + 1;
+            let mut epoch = 0u64;
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for batch in 0..batches {
+                for i in 0..n {
+                    let g = (batch * n + i) as u64;
+                    let t = next(&mut x) >> tie_shift;
+                    bufs[g as usize % shards]
+                        .push((t, EventKind::MetaMissBurst { len: g }));
+                }
+                let before = lines.lock().expect("sink lock").len();
+                tel.emit_merged(&mut bufs);
+                prop_assert!(
+                    bufs.iter().all(Vec::is_empty),
+                    "emit_merged left events buffered"
+                );
+                let seg: Vec<(u64, u64)> = lines.lock().expect("sink lock")
+                    [before..]
+                    .iter()
+                    .map(|l| {
+                        let v = serde_json::from_str(l).expect("valid line");
+                        let e = Event::deserialize(&v).expect("event line");
+                        match e.kind {
+                            EventKind::MetaMissBurst { len } => (e.t_ps, len),
+                            other => panic!("unexpected kind {:?}", other),
+                        }
+                    })
+                    .collect();
+                prop_assert_eq!(seg.len(), n);
+                // Sorted by (t, shard); within one (t, shard) the global
+                // index rises — the stable sort keeps emission order.
+                for w in seg.windows(2) {
+                    let (ta, ga) = w[0];
+                    let (tb, gb) = w[1];
+                    let (sa, sb) = (ga as usize % shards, gb as usize % shards);
+                    prop_assert!(ta <= tb, "time went backwards: {} > {}", ta, tb);
+                    if ta == tb {
+                        prop_assert!(
+                            sa <= sb,
+                            "shard tie-break violated at t={}: {} > {}", ta, sa, sb
+                        );
+                        if sa == sb {
+                            prop_assert!(
+                                ga < gb,
+                                "per-shard emission order lost at t={}", ta
+                            );
+                        }
+                    }
+                }
+                merged.extend(seg);
+                // Wrap the ring while the event stream is mid-flight.
+                for _ in 0..snaps_per_batch {
+                    tel.snapshot(EpochSnapshot::empty(epoch, epoch * 50));
+                    epoch += 1;
+                }
+            }
+            prop_assert!(tel.ring.total_pushed() > DEFAULT_RING_CAPACITY as u64);
+            prop_assert_eq!(tel.ring.len(), DEFAULT_RING_CAPACITY);
+            prop_assert_eq!(tel.ring.latest().map(|s| s.epoch), Some(epoch - 1));
+            merged.sort_unstable();
+            per_shard_count.push(merged);
+        }
+        // The same global stream partitioned differently emits the same
+        // event multiset, whatever the shard count.
+        for m in &per_shard_count[1..] {
+            prop_assert_eq!(m, &per_shard_count[0]);
+        }
     }
 }
 

@@ -46,8 +46,11 @@ assert all('speedup' in r for r in d['results'])
 print('BENCH_sched.smoke.json OK:', len(d['results']), 'depths')
 t = json.load(open('BENCH_telemetry.smoke.json'))
 assert t['bench'] == 'telemetry_overhead', 'malformed telemetry JSON'
-assert t['pass'], f\"null-sink overhead gate failed: {t['overhead_pct']:.2f}%\"
-print(f\"BENCH_telemetry.smoke.json OK: {t['overhead_pct']:+.2f}% overhead\")
+assert 'span_overhead_pct' in t, 'missing span overhead field'
+assert t['pass'], (f\"overhead gate failed: null {t['overhead_pct']:.2f}%, \"
+                  f\"spans {t['span_overhead_pct']:.2f}%\")
+print(f\"BENCH_telemetry.smoke.json OK: {t['overhead_pct']:+.2f}% null-sink, \"
+      f\"{t['span_overhead_pct']:+.2f}% sampled-span overhead\")
 "
 }
 step "bench_sched --smoke" bench_smoke
@@ -108,6 +111,24 @@ print('timeline.smoke.jsonl OK:', len(epochs), 'epoch snapshots')
     rm -f timeline.smoke.jsonl
 }
 step "simrun --timeline smoke" timeline_smoke
+
+# Trace smoke: a sharded, span-traced run must export a Perfetto-loadable
+# Chrome trace that survives tracelens's structural self-check (balanced
+# begin/end pairs, no inverted spans, no parse problems), and the JSONL
+# timeline of the same run must pass the same gate. CI uploads the Chrome
+# trace as an artifact.
+trace_smoke() {
+    cargo run -q --release -p mempod-bench --bin simrun --offline -- \
+        --workload mix1 --manager mempod --requests 150000 --smoke \
+        --shards 4 --spans --exec-spans \
+        --trace-out trace.smoke.json --timeline trace.smoke.jsonl
+    cargo run -q --release -p mempod-bench --bin tracelens --offline -- \
+        trace.smoke.json --self-check
+    cargo run -q --release -p mempod-bench --bin tracelens --offline -- \
+        trace.smoke.jsonl --self-check
+    rm -f trace.smoke.jsonl
+}
+step "simrun --trace-out smoke (tracelens --self-check)" trace_smoke
 
 # Fault-injection smoke: the degradation study must run the abort/channel
 # fault sweep over every manager, actually fire faults at the non-zero
