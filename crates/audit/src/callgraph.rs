@@ -144,9 +144,19 @@ impl Model {
         if item.qual == "Simulator::run" {
             return true;
         }
+        // Fault-injection entry points: recovery code runs exactly when a
+        // fault fires, so everything a public `mempod-faults` function
+        // reaches is simulation-visible even though no happy-path root
+        // calls it.
+        if file.crate_name == "mempod-faults" {
+            return item.vis_pub;
+        }
         if file.rel.ends_with("crates/sim/src/runner.rs") || file.rel == "crates/sim/src/runner.rs"
         {
-            return item.vis_pub;
+            // `run_jobs_core` is the private engine hosting the watchdog
+            // monitor thread; root it explicitly so the cancellation path
+            // stays covered even if the public wrappers thin out.
+            return item.vis_pub || item.name == "run_jobs_core";
         }
         if let Some(ty) = item.qual.strip_suffix(&format!("::{}", item.name)) {
             if ty == "Channel" {

@@ -46,7 +46,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use serde_json::{json, Value};
 
-use crate::callgraph::{FnId, Model, PIPELINE_CRATES};
+use crate::callgraph::{FnId, Model};
 use crate::lexer::{Token, TokenKind};
 use crate::parser::{Item, ItemKind, ParsedFile};
 
@@ -69,6 +69,18 @@ pub const EPOCH_BARRIER_FNS: &[&str] = &[
     // window (merging per-shard buffers, emitting execution spans), never
     // inside a shard's tick loop.
     "barrier",
+];
+
+/// Crates whose struct fields get shard-safety verdicts: the migration
+/// pipeline plus `mempod-faults` — fault plans are read from inside shard
+/// loops and recovery paths, so their fields' classes are part of the
+/// shard-safety contract even though the crate itself is not pipeline.
+pub const REPORT_CRATES: &[&str] = &[
+    "mempod-core",
+    "mempod-dram",
+    "mempod-sim",
+    "mempod-tracker",
+    "mempod-faults",
 ];
 
 /// Container methods that mutate their receiver. Workspace methods are
@@ -405,11 +417,11 @@ pub fn analyze(model: &Model) -> EffectReport {
         }
     }
 
-    // Verdicts over pipeline-crate structs, (file, type) order.
+    // Verdicts over report-crate structs, (file, type) order.
     let mut verdicts = Vec::new();
     let mut report_structs: Vec<&StructInfo> = structs
         .iter()
-        .filter(|s| PIPELINE_CRATES.contains(&s.crate_name.as_str()))
+        .filter(|s| REPORT_CRATES.contains(&s.crate_name.as_str()))
         .collect();
     report_structs.sort_by(|a, b| (&a.file, &a.name).cmp(&(&b.file, &b.name)));
     for s in report_structs {

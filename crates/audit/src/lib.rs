@@ -25,6 +25,11 @@
 //!     propagated through the call graph, feeding the shard-safety
 //!     classifier behind `cargo run -p mempod-audit -- effects`
 //!     (`shard_safety.json`).
+//!   - [`sync_pass`] — the concurrency audit behind
+//!     `cargo run -p mempod-audit -- sync` (`lock_order.json`):
+//!     lock-acquisition-order cycle detection, acquire/release pairing
+//!     of atomics, and the `sync-primitive-outside-facade` boundary
+//!     that keeps the pipeline on the `mempod-sync` facade.
 //!   - [`baseline`] — `--deny-new` support: a committed baseline of
 //!     frozen debt, with stale-entry reporting so it only shrinks.
 //!   - [`lint`] — the orchestrator tying those together, with a JSON
@@ -45,9 +50,11 @@ pub mod lint;
 pub mod parser;
 pub mod rules;
 pub mod runtime;
+pub mod sync_pass;
 
 pub use baseline::{Baseline, BaselineEntry};
 pub use callgraph::{derive_coverage, Coverage, Model};
 pub use effects::{analyze, EffectReport, ShardClass};
 pub use lint::{run_lint, Allowlist, LintReport, Violation};
 pub use runtime::InvariantAuditor;
+pub use sync_pass::{analyze_sync, SyncReport};

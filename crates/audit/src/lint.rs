@@ -27,6 +27,11 @@
 //! * `interior-mut` — `static mut`/`thread_local!`/cells/locks that hide
 //!   writes from the effect analysis.
 //! * `coverage-gap` — pipeline modules escaping the derived coverage.
+//! * `lock-order-cycle` / `atomic-ordering-mismatch` /
+//!   `sync-primitive-outside-facade` — the concurrency audit
+//!   ([`crate::sync_pass`]): acquisition-order cycles, unpaired
+//!   acquire/release atomics, and raw `std::sync`/`std::thread` escaping
+//!   the `mempod-sync` facade.
 //!
 //! Two grandfathering mechanisms with different lifecycles:
 //! * [`Allowlist`] (`audit.allowlist.json`) — intentional, permanent
@@ -353,6 +358,7 @@ pub fn run_lint(root: &Path, allowlist: &Allowlist) -> LintReport {
     rules::ignored_result::check(&model, &coverage, &mut violations);
     rules::coverage::check(&model, &coverage, &mut violations);
     rules::span::check(&model, &mut violations);
+    crate::sync_pass::check(&model, &mut violations);
 
     for v in &mut violations {
         v.allowed = allowlist.permits(&v.file, &v.rule, &v.snippet);

@@ -1,5 +1,6 @@
-//! CLI for the workspace auditor: `cargo run -p mempod-audit -- lint`
-//! and `cargo run -p mempod-audit -- effects`.
+//! CLI for the workspace auditor: `cargo run -p mempod-audit -- lint`,
+//! `cargo run -p mempod-audit -- effects`, and
+//! `cargo run -p mempod-audit -- sync`.
 //!
 //! `lint` prints a human summary to stderr and the JSON report to stdout
 //! (or to `--report FILE`). Exit codes:
@@ -14,6 +15,10 @@
 //! shard-safety report (`shard_safety.json`); with `--check FILE` it also
 //! fails (exit `1`) when any field's class regressed towards
 //! `cross-shard` relative to the committed snapshot.
+//!
+//! `sync` runs the concurrency audit and writes the lock-order report
+//! (`lock_order.json`), failing (exit `1`) on lock-acquisition-order
+//! cycles or unpaired acquire/release atomics.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,6 +32,7 @@ const USAGE: &str = "usage: mempod-audit lint [--root DIR] [--allowlist FILE]
                          [--baseline FILE] [--deny-new] [--write-baseline]
                          [--report FILE]
        mempod-audit effects [--root DIR] [--out FILE] [--check FILE]
+       mempod-audit sync [--root DIR] [--out FILE]
 
 lint: runs the workspace lint rules over the source model: hot-path panic
 and print bans, lossy-cast ban, pub-API doc/Debug coverage, unit-mismatch,
@@ -55,8 +61,19 @@ as shard-local / epoch-barrier-only / cross-shard.
   --check FILE      compare against a committed snapshot and fail on any
                     class regression towards cross-shard
 
-exit codes: 0 clean, 1 blocking violations / class regressions,
-2 usage/IO error, 3 stale allowlist/baseline entries only.";
+sync: runs the concurrency audit: builds the lock-acquisition-order graph
+(.lock()/.lock_recovering() sites, direct and through callees) and fails
+on cycles; aggregates atomic load/store/RMW orderings per field and fails
+on Acquire/Release halves that pair with nothing; reports raw
+std::sync/std::thread paths escaping the mempod-sync facade.
+
+  --root DIR        workspace root (default: .)
+  --out FILE        report path (default: <root>/lock_order.json;
+                    `-` writes to stdout)
+
+exit codes: 0 clean, 1 blocking violations / class regressions /
+lock-order cycles, 2 usage/IO error, 3 stale allowlist/baseline entries
+only.";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -66,6 +83,9 @@ fn main() -> ExitCode {
     };
     if command == "effects" {
         return run_effects(args);
+    }
+    if command == "sync" {
+        return run_sync(args);
     }
     if command != "lint" {
         eprintln!("unknown command `{command}`\n\n{USAGE}");
@@ -213,6 +233,92 @@ fn main() -> ExitCode {
         ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `mempod-audit sync`: run the concurrency audit, write
+/// `lock_order.json`, and fail on lock-order cycles or unpaired
+/// acquire/release atomics.
+fn run_sync(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut out_path: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" | "--out" => {
+                let Some(value) = args.next() else {
+                    eprintln!("{arg} needs an argument\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                let value = PathBuf::from(value);
+                match arg.as_str() {
+                    "--root" => root = value,
+                    _ => out_path = Some(value),
+                }
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| root.join("lock_order.json"));
+
+    let model = match Model::build(&root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if model.files.is_empty() {
+        eprintln!("error: no Rust sources under {}", root.display());
+        return ExitCode::from(2);
+    }
+    let report = mempod_audit::analyze_sync(&model);
+    let rendered = match serde_json::to_string_pretty(report.to_json()) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: could not render report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if out_path.as_os_str() == "-" {
+        println!("{rendered}");
+    } else if let Err(e) = std::fs::write(&out_path, rendered + "\n") {
+        eprintln!("error: {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+
+    eprintln!(
+        "mempod-audit sync: {} lock acquisition site(s), {} order edge(s), \
+         {} cycle(s); {} atomic site(s), {} ordering mismatch(es); \
+         {} raw std::sync/std::thread use(s) in facade scope",
+        report.lock_sites.len(),
+        report.edges.len(),
+        report.cycles.len(),
+        report.atomic_sites.len(),
+        report.mismatches.len(),
+        report.raw_sync.len(),
+    );
+    if out_path.as_os_str() != "-" {
+        eprintln!(
+            "mempod-audit sync: report written to {}",
+            out_path.display()
+        );
+    }
+    for c in &report.cycles {
+        eprintln!("error: lock-order cycle: {{{}}}", c.join(", "));
+    }
+    for m in &report.mismatches {
+        eprintln!(
+            "error: atomic-ordering mismatch: {}:{}: {}",
+            m.file, m.line, m.detail
+        );
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -2,18 +2,20 @@
 //!
 //! The paper's figures are matrices (workloads × mechanisms × parameters).
 //! [`try_run_jobs`] executes a list of independent [`Job`]s across scoped
-//! worker threads (`std::thread::scope`; no external thread-pool crates),
-//! preserving job order in the output. Traces are shared by `Arc` so a
-//! workload generated once can feed every mechanism.
+//! worker threads (`thread::scope` via the `mempod-sync` facade; no
+//! external thread-pool crates), preserving job order in the output.
+//! Traces are shared by `Arc` so a workload generated once can feed every
+//! mechanism.
 //!
 //! This module is on the audited hot path (`mempod-audit` forbids
 //! `unwrap`/`expect`/`panic!` here), so every fallible step propagates a
 //! [`SimError`]; the panicking convenience wrapper
 //! [`run_jobs`](crate::run_jobs) lives at the crate surface instead.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+use mempod_sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use mempod_sync::{thread, Arc, Mutex};
 
 use mempod_trace::Trace;
 
@@ -34,18 +36,6 @@ impl Job {
     /// Creates a job.
     pub fn new(cfg: SimConfig, trace: Arc<Trace>) -> Self {
         Job { cfg, trace }
-    }
-}
-
-/// Locks a mutex, recovering the guard if a previous holder panicked.
-///
-/// Worker panics propagate out of `std::thread::scope` anyway; the data
-/// under the lock is per-slot writes that are either complete or absent,
-/// so continuing past poison is sound and keeps this path panic-free.
-fn lock_unpoisoned<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    match m.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
     }
 }
 
@@ -316,7 +306,7 @@ fn run_jobs_core(
     let results: Mutex<Vec<Option<Result<SimReport, SimError>>>> =
         Mutex::new((0..n).map(|_| None).collect());
 
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -346,7 +336,10 @@ fn run_jobs_core(
                     slot.finished_ms.store(now, Ordering::Relaxed);
                     slot.state.store(STATE_DONE, Ordering::Release);
                 }
-                lock_unpoisoned(&results)[i] = Some(outcome);
+                // Index-keyed slots are either fully written or absent, so
+                // recovering from a poisoned lock here is sound; worker
+                // panics still propagate out of the scope.
+                results.lock_recovering()[i] = Some(outcome);
                 remaining.fetch_sub(1, Ordering::Release);
             });
         }
@@ -357,14 +350,16 @@ fn run_jobs_core(
             let cancels = &cancels;
             scope.spawn(move || {
                 while remaining.load(Ordering::Acquire) > 0 {
-                    std::thread::sleep(std::time::Duration::from_millis(w.poll_ms.max(1)));
+                    thread::sleep(std::time::Duration::from_millis(w.poll_ms.max(1)));
                     let elapsed = board.elapsed_ms();
                     for (slot, token) in board.jobs.iter().zip(cancels) {
                         if slot
                             .running_for_ms(elapsed)
                             .is_some_and(|ms| ms > w.hard_timeout_ms)
                         {
-                            token.store(true, Ordering::Relaxed);
+                            // Release pairs with the simulator's Acquire
+                            // poll at the batch boundary.
+                            token.store(true, Ordering::Release);
                         }
                     }
                 }
@@ -374,10 +369,7 @@ fn run_jobs_core(
         // a config error) re-raises here without any explicit join code.
     });
 
-    let slots = match results.into_inner() {
-        Ok(slots) => slots,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let slots = results.into_inner();
     slots
         .into_iter()
         .enumerate()
@@ -537,6 +529,75 @@ mod tests {
             let r = outcome.as_ref().expect("finished well inside timeout");
             assert_eq!(r.total_stall, baseline.total_stall);
             assert!(!r.faults.cancelled);
+        }
+    }
+
+    #[test]
+    fn partial_results_keep_job_order_under_mixed_outcomes() {
+        let sys = SystemConfig::tiny();
+        let small = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 1)
+                .take_requests(2_000, &sys.geometry),
+        );
+        let huge = Arc::new(
+            TraceGenerator::new(WorkloadSpec::hotcold_demo(), 2)
+                .take_requests(400_000, &sys.geometry),
+        );
+        let jobs = vec![
+            Job::new(
+                SimConfig::new(sys.clone(), ManagerKind::NoMigration),
+                Arc::clone(&small),
+            ),
+            Job::new(SimConfig::new(sys.clone(), ManagerKind::MemPod), huge),
+            Job::new(SimConfig::new(sys, ManagerKind::Thm), small),
+        ];
+        let outcomes = try_run_jobs_with_watchdog(
+            jobs,
+            3,
+            None,
+            WatchdogConfig {
+                poll_ms: 1,
+                hard_timeout_ms: 5,
+            },
+        );
+        assert_eq!(outcomes.len(), 3);
+        // Ordering assertion: slot `i` always describes job `i`, whether
+        // it finished or timed out — a timeout never shifts later results.
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                Ok(r) => assert_eq!(r.requests, 2_000, "job {i}"),
+                Err(SimError::JobTimedOut { job }) => assert_eq!(*job, i),
+                Err(e) => panic!("job {i}: unexpected error {e:?}"),
+            }
+        }
+        // The 400k-request job cannot finish inside a 5ms hard timeout.
+        assert!(
+            matches!(outcomes[1], Err(SimError::JobTimedOut { job: 1 })),
+            "outcome 1 was {:?}",
+            outcomes[1].as_ref().map(|r| r.requests)
+        );
+    }
+
+    #[test]
+    fn result_slots_recover_from_a_poisoned_lock_with_consistent_state() {
+        // The runner's result board pattern in isolation: a worker dies
+        // holding the lock mid-update; survivors recover the poisoned
+        // lock and every slot is still either complete or absent.
+        let results: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(vec![None; 3]));
+        let r2 = Arc::clone(&results);
+        let dead = thread::spawn(move || {
+            let mut g = r2.lock_recovering();
+            g[0] = Some(0);
+            panic!("worker dies mid-update");
+        });
+        assert!(dead.join().is_err());
+        assert!(results.is_poisoned(), "unwinding guard must poison");
+        for i in 1..3 {
+            results.lock_recovering()[i] = Some(i);
+        }
+        let slots = results.lock_recovering();
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot, Some(i), "slot {i} complete and untorn");
         }
     }
 

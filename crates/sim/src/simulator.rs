@@ -37,13 +37,13 @@
 //! formulation (§6.2). Injected traffic contributes through contention and
 //! blocking, not through its own queueing time.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 use mempod_core::{build_manager, MemoryManager, Migration};
 use mempod_dram::{ChannelProbe, Interleave, MemorySystem, SystemStats};
 use mempod_faults::FaultPlan;
+use mempod_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mempod_sync::{thread, Arc};
 use mempod_telemetry::span::{exec_span_id, request_span_id};
 use mempod_telemetry::{
     EpochSnapshot, EventKind, Log2Histogram, PhaseClock, SpanName, SpanRecord, Telemetry, SPAN_NONE,
@@ -627,10 +627,17 @@ impl Simulator {
         }
 
         for req in trace.requests() {
-            if self
-                .cancel
-                .as_ref()
-                .is_some_and(|c| c.load(Ordering::Relaxed))
+            // Deterministic cancellation: the token is polled only at
+            // progress-batch boundaries, so a cancelled run always stops
+            // after a whole number of batches (`requests` a multiple of
+            // PROGRESS_BATCH) regardless of when the watchdog's store
+            // lands mid-batch — and the flushed progress counter equals
+            // the partial request count exactly.
+            if requests_so_far.is_multiple_of(PROGRESS_BATCH)
+                && self
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|c| c.load(Ordering::Acquire))
             {
                 cancelled = true;
                 break;
@@ -864,10 +871,16 @@ impl Simulator {
         let mut batch_migrated = false;
 
         for req in trace.requests() {
-            if self
-                .cancel
-                .as_ref()
-                .is_some_and(|c| c.load(Ordering::Relaxed))
+            // Deterministic cancellation: poll only while the arrival
+            // batch is empty — i.e. at barrier boundaries — so a
+            // cancelled sharded run always stops between whole barrier
+            // intervals, never mid-batch, matching the sequential path's
+            // progress-batch quantization.
+            if arrivals.is_empty()
+                && self
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|c| c.load(Ordering::Acquire))
             {
                 cancelled = true;
                 break;
@@ -1338,7 +1351,7 @@ fn run_batch(
             })
             .collect()
     } else {
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter_mut()
                 .zip(work.iter_mut())
@@ -1520,7 +1533,7 @@ mod tests {
     fn run_with_memory_sink(
         kind: ManagerKind,
         n: usize,
-    ) -> (SimReport, std::sync::Arc<std::sync::Mutex<Vec<String>>>) {
+    ) -> (SimReport, Arc<mempod_sync::Mutex<Vec<String>>>) {
         let sink = mempod_telemetry::MemorySink::new();
         let lines = sink.handle();
         let cfg = SimConfig::new(SystemConfig::tiny(), kind);
@@ -1875,5 +1888,58 @@ mod tests {
             assert!(r.faults.cancelled, "{shards} shards");
             assert_eq!(r.requests, 0, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_on_a_batch_boundary_with_exact_progress() {
+        // Whenever the watchdog's store lands, the sequential loop only
+        // honours it at a progress-batch boundary: the partial request
+        // count is a whole number of batches and the flushed progress
+        // counter equals it exactly (no trailing unflushed remainder).
+        let token = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+        let sim = Simulator::new(cfg)
+            .expect("valid")
+            .with_cancel(Arc::clone(&token))
+            .with_progress(Arc::clone(&counter));
+        let trace = demo_trace(300_000);
+        let arm = Arc::clone(&token);
+        let watchdog = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(2));
+            arm.store(true, Ordering::Release);
+        });
+        let r = sim.run(&trace);
+        watchdog.join().expect("watchdog thread");
+        if r.faults.cancelled {
+            assert!(r.requests < 300_000, "stopped early");
+            assert_eq!(r.requests % PROGRESS_BATCH, 0, "batch-quantized stop");
+        } else {
+            // The machine outran the 2ms fuse; the run completed instead.
+            assert_eq!(r.requests, 300_000);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), r.requests);
+    }
+
+    #[test]
+    fn progress_board_stays_consistent_across_shard_panic_degradation() {
+        // Satellite: a shard panic mid-run degrades to the sequential
+        // reference; the shared progress counter must roll back the
+        // partial sharded credit and land exactly on the final request
+        // count — never double-counting replayed work.
+        use mempod_types::{FaultConfig, WorkerPanic};
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut cfg = SimConfig::new(SystemConfig::tiny(), ManagerKind::MemPod);
+        let mut f = FaultConfig::quiet(5);
+        f.worker_panic = Some(WorkerPanic { shard: 1, batch: 2 });
+        cfg.faults = Some(f);
+        let r = Simulator::new(cfg)
+            .expect("valid")
+            .with_shards(4)
+            .with_progress(Arc::clone(&counter))
+            .run(&demo_trace(20_000));
+        assert!(r.faults.degraded_to_sequential);
+        assert_eq!(r.requests, 20_000);
+        assert_eq!(counter.load(Ordering::Relaxed), r.requests);
     }
 }

@@ -1,0 +1,145 @@
+//! Facade atomics: transparent newtypes over `std::sync::atomic`.
+//!
+//! In normal builds every method inlines to the std operation with the
+//! caller's ordering. Under the `model-check` feature each operation is
+//! a scheduler switch point and its ordering is recorded in the schedule
+//! trace — the explorer interleaves logical operations (sequentially
+//! consistent exploration); it does not simulate weak-memory
+//! reorderings, which is what the `atomic-ordering-mismatch` audit rule
+//! covers statically instead.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "model-check")]
+use crate::model::hook::{self, AtomicKind};
+
+macro_rules! facade_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// Facade atomic delegating to the std type of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// A new atomic holding `v`.
+            #[inline]
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            #[cfg(feature = "model-check")]
+            fn announce(&self, kind: AtomicKind, op: &'static str, ordering: Ordering) {
+                hook::atomic_op(self as *const Self as usize, kind, op, ordering);
+            }
+
+            /// Loads the value.
+            #[inline]
+            pub fn load(&self, ordering: Ordering) -> $prim {
+                #[cfg(feature = "model-check")]
+                self.announce(
+                    AtomicKind::Load,
+                    concat!(stringify!($name), "::load"),
+                    ordering,
+                );
+                self.inner.load(ordering)
+            }
+
+            /// Stores `v`.
+            #[inline]
+            pub fn store(&self, v: $prim, ordering: Ordering) {
+                #[cfg(feature = "model-check")]
+                self.announce(
+                    AtomicKind::Store,
+                    concat!(stringify!($name), "::store"),
+                    ordering,
+                );
+                self.inner.store(v, ordering);
+            }
+
+            /// Swaps in `v`, returning the previous value.
+            #[inline]
+            pub fn swap(&self, v: $prim, ordering: Ordering) -> $prim {
+                #[cfg(feature = "model-check")]
+                self.announce(
+                    AtomicKind::Rmw,
+                    concat!(stringify!($name), "::swap"),
+                    ordering,
+                );
+                self.inner.swap(v, ordering)
+            }
+
+            /// Consumes the atomic, returning the inner value.
+            #[inline]
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! facade_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Adds `v`, returning the previous value.
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, ordering: Ordering) -> $prim {
+                #[cfg(feature = "model-check")]
+                self.announce(
+                    AtomicKind::Rmw,
+                    concat!(stringify!($name), "::fetch_add"),
+                    ordering,
+                );
+                self.inner.fetch_add(v, ordering)
+            }
+
+            /// Subtracts `v`, returning the previous value.
+            #[inline]
+            pub fn fetch_sub(&self, v: $prim, ordering: Ordering) -> $prim {
+                #[cfg(feature = "model-check")]
+                self.announce(
+                    AtomicKind::Rmw,
+                    concat!(stringify!($name), "::fetch_sub"),
+                    ordering,
+                );
+                self.inner.fetch_sub(v, ordering)
+            }
+        }
+    };
+}
+
+facade_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+facade_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+facade_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+facade_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+facade_atomic_arith!(AtomicU8, u8);
+facade_atomic_arith!(AtomicU64, u64);
+facade_atomic_arith!(AtomicUsize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomics_pass_through() {
+        let b = AtomicBool::new(false);
+        assert!(!b.load(Ordering::Acquire));
+        b.store(true, Ordering::Release);
+        assert!(b.swap(false, Ordering::AcqRel));
+        assert!(!b.into_inner());
+
+        let n = AtomicU64::new(5);
+        assert_eq!(n.fetch_add(3, Ordering::Relaxed), 5);
+        assert_eq!(n.fetch_sub(1, Ordering::Relaxed), 8);
+        assert_eq!(n.load(Ordering::Relaxed), 7);
+
+        let u = AtomicUsize::new(0);
+        assert_eq!(u.fetch_add(1, Ordering::Relaxed), 0);
+        let s = AtomicU8::new(2);
+        s.store(3, Ordering::Release);
+        assert_eq!(s.load(Ordering::Acquire), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Thread-side instrumentation hooks: the bridge between facade
+//! operations and the explorer's scheduler.
+//!
+//! Every facade operation calls one of these before (or, for releases,
+//! after) its physical effect. When the calling thread belongs to an
+//! explorer run, the hook announces the operation and blocks until the
+//! deterministic scheduler grants it — that handshake is the switch
+//! point the explorer permutes. Outside a run the hooks are no-ops, so
+//! `model-check` builds still behave like std for ordinary tests.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use super::{Control, Pending, Status};
+
+/// How an atomic operation touches its cell, for the dependency
+/// relation behind sleep-set pruning (two loads commute; anything
+/// involving a store or RMW does not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AtomicKind {
+    /// Pure load.
+    Load,
+    /// Pure store.
+    Store,
+    /// Read-modify-write (`swap`, `fetch_add`, …).
+    Rmw,
+}
+
+/// Panic payload used to unwind model threads when a run is torn down
+/// (deadlock found, budget hit). Never escapes the explorer: thread
+/// wrappers catch and classify it as "aborted", not "panicked".
+pub(crate) struct AbortRun;
+
+struct Ctx {
+    ctrl: Arc<Control>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Binds the current OS thread to an explorer run as model thread
+/// `tid`.
+pub(crate) fn install(ctrl: Arc<Control>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { ctrl, tid }));
+}
+
+pub(crate) fn current() -> Option<(Arc<Control>, usize)> {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.ctrl), ctx.tid))
+    })
+}
+
+/// Whether the current thread is driven by an explorer scheduler.
+pub(crate) fn in_model_run() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Announces `op` and blocks until the scheduler grants it.
+///
+/// `in_drop` announcements (guard releases) return silently when the
+/// run is aborting — panicking inside a `Drop` that may itself run
+/// during an unwind would abort the process. Every other announcement
+/// unwinds with [`AbortRun`] on abort so free-running threads cannot
+/// keep executing model code concurrently.
+fn announce(op: Pending, in_drop: bool) {
+    let Some((ctrl, tid)) = current() else { return };
+    let mut st = ctrl.lock_state();
+    if st.abort {
+        drop(st);
+        if in_drop {
+            return;
+        }
+        std::panic::panic_any(AbortRun);
+    }
+    st.assign_names(&op);
+    st.threads[tid].status = Status::Announced(op);
+    ctrl.cv.notify_all();
+    loop {
+        st = ctrl.wait_state(st);
+        if st.abort {
+            drop(st);
+            if in_drop {
+                return;
+            }
+            std::panic::panic_any(AbortRun);
+        }
+        if matches!(st.threads[tid].status, Status::Running) {
+            return;
+        }
+    }
+}
+
+/// Switch point for an atomic operation; records its ordering.
+pub(crate) fn atomic_op(obj: usize, kind: AtomicKind, label: &'static str, ordering: Ordering) {
+    announce(
+        Pending::AtomicOp {
+            obj,
+            kind,
+            label,
+            ordering,
+        },
+        false,
+    );
+}
+
+/// Switch point for a mutex acquisition; blocks while the logical
+/// holder differs.
+pub(crate) fn lock_acquire(obj: usize) {
+    announce(Pending::Lock { obj }, false);
+}
+
+/// Switch point for a mutex release (called from guard `Drop`, after
+/// the physical release).
+pub(crate) fn lock_release(obj: usize, poison: bool) {
+    announce(Pending::Unlock { obj, poison }, true);
+}
+
+/// Switch point for a condvar wait: atomically releases the logical
+/// lock, parks this thread, and returns only once a notify and a lock
+/// regrant have both happened.
+pub(crate) fn condvar_wait(cv: usize, lock: usize) {
+    announce(Pending::Wait { cv, lock }, false);
+}
+
+/// Switch point for a condvar notify; wakes the scheduler-chosen
+/// waiter(s), recording the park/unpark edge.
+pub(crate) fn condvar_notify(cv: usize, all: bool) {
+    announce(Pending::Notify { cv, all }, false);
+}
+
+/// Switch point for joining model thread `target`; enabled once it has
+/// finished.
+pub(crate) fn join(target: usize) {
+    announce(Pending::Join { target }, false);
+}
+
+/// First announcement of a freshly spawned model thread, making thread
+/// startup itself a schedulable event.
+pub(crate) fn begin() {
+    announce(Pending::Begin, false);
+}

@@ -1,0 +1,1078 @@
+//! Bounded interleaving explorer: a miniature, dependency-free model
+//! checker for code written against the facade primitives.
+//!
+//! # How it works
+//!
+//! [`explore`] runs a model closure repeatedly. Each run spawns real OS
+//! threads (via [`spawn`]) but serializes them: every facade operation
+//! announces itself to a controller and blocks until granted, so exactly
+//! one model thread makes progress at a time and the grant order *is*
+//! the schedule. The controller records every decision point (which
+//! threads had an operation enabled, which was chosen); after the run,
+//! unexplored alternatives become new runs that replay the common prefix
+//! and diverge at the decision. Depth-first repetition enumerates every
+//! interleaving of facade operations up to the schedule budget.
+//!
+//! Two standard model-checking ingredients keep that tractable:
+//!
+//! * **Sleep sets** (Godefroid): after exploring thread `t` at a
+//!   decision, `t` is put to sleep for the sibling branches and stays
+//!   asleep until some dependent operation executes. This soundly skips
+//!   schedules that only commute independent operations — no deadlock or
+//!   assertion failure is missed for safety properties.
+//! * **Budgets**: `max_schedules` bounds the number of runs,
+//!   `max_steps` bounds the length of any one run, so exploration
+//!   terminates even on models with unbounded loops.
+//!
+//! Blocking is fully simulated: a condvar wait parks the thread inside
+//! the scheduler, and only a notify grant unparks it (no spurious
+//! wakeups, FIFO order). A notify that finds no waiter is recorded as
+//! exactly that — which is why a lost-wakeup bug shows up here as a
+//! deterministic [`ViolationKind::Deadlock`] rather than a flaky hang.
+//!
+//! A deadlocked run, a panicking model (failed assertion), or an
+//! exhausted budget tears the run down by waking every blocked thread
+//! with an abort payload and joining it, so one bad schedule cannot wedge
+//! the test process.
+
+pub(crate) mod hook;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+use hook::{AbortRun, AtomicKind};
+
+/// A logical operation a model thread has announced and is blocked on.
+#[derive(Debug, Clone)]
+pub(crate) enum Pending {
+    /// First announcement of a spawned thread: makes startup schedulable.
+    Begin,
+    /// A facade atomic operation.
+    AtomicOp {
+        obj: usize,
+        kind: AtomicKind,
+        label: &'static str,
+        ordering: Ordering,
+    },
+    /// Mutex acquisition; enabled while the logical holder is vacant.
+    Lock { obj: usize },
+    /// Mutex release (announced from guard drop, after the physical
+    /// release).
+    Unlock { obj: usize, poison: bool },
+    /// Condvar wait: atomically releases `lock` and parks on `cv`.
+    Wait { cv: usize, lock: usize },
+    /// Lock reacquisition of a notified waiter; enabled when `lock` is
+    /// free.
+    Reacquire { cv: usize, lock: usize },
+    /// Condvar notify; wakes the FIFO-first waiter (or all of them).
+    Notify { cv: usize, all: bool },
+    /// Join of model thread `target`; enabled once it has finished.
+    Join { target: usize },
+}
+
+impl Pending {
+    /// Objects this operation touches, with the display prefix used to
+    /// assign stable small names in traces.
+    fn objs_with_prefix(&self) -> Vec<(usize, &'static str)> {
+        match self {
+            Pending::Begin | Pending::Join { .. } => Vec::new(),
+            Pending::AtomicOp { obj, .. } => vec![(*obj, "a")],
+            Pending::Lock { obj } | Pending::Unlock { obj, .. } => vec![(*obj, "m")],
+            Pending::Wait { cv, lock } | Pending::Reacquire { cv, lock } => {
+                vec![(*cv, "cv"), (*lock, "m")]
+            }
+            Pending::Notify { cv, .. } => vec![(*cv, "cv")],
+        }
+    }
+}
+
+/// Scheduler-visible state of one model thread.
+#[derive(Debug)]
+pub(crate) enum Status {
+    /// Executing model code; the controller waits for its next
+    /// announcement.
+    Running,
+    /// Blocked in `announce`, waiting for the grant.
+    Announced(Pending),
+    /// Parked on a condvar until some notify selects it.
+    SleepingCv { cv: usize, lock: usize },
+    /// Returned or unwound; `panicked` excludes explorer-initiated
+    /// aborts.
+    Finished { panicked: bool, msg: Option<String> },
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadSlot {
+    pub(crate) status: Status,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<usize>,
+}
+
+/// Shared scheduler state, guarded by [`Control::m`].
+#[derive(Debug, Default)]
+pub(crate) struct SchedState {
+    pub(crate) threads: Vec<ThreadSlot>,
+    pub(crate) abort: bool,
+    locks: HashMap<usize, LockState>,
+    /// FIFO waiter queues per condvar.
+    cv_queues: HashMap<usize, Vec<usize>>,
+    /// First-touch small names for trace readability (`m0`, `cv1`, `a2`).
+    names: HashMap<usize, String>,
+    next_name: u32,
+    trace: Vec<String>,
+    /// OS handles of spawned model threads, joined at teardown.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SchedState {
+    /// Assigns trace names to any not-yet-seen objects of `op`.
+    pub(crate) fn assign_names(&mut self, op: &Pending) {
+        for (obj, prefix) in op.objs_with_prefix() {
+            if !self.names.contains_key(&obj) {
+                let name = format!("{prefix}{}", self.next_name);
+                self.next_name += 1;
+                self.names.insert(obj, name);
+            }
+        }
+    }
+
+    fn display(&self, obj: usize) -> String {
+        self.names
+            .get(&obj)
+            .cloned()
+            .unwrap_or_else(|| format!("o{obj:x}"))
+    }
+}
+
+/// The mutex+condvar pair every model thread and the controller
+/// rendezvous on.
+#[derive(Debug)]
+pub(crate) struct Control {
+    m: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+impl Control {
+    fn new() -> Self {
+        Control {
+            m: StdMutex::new(SchedState::default()),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Locks the scheduler state (recovering from poisoning — a
+    /// panicking model thread must not wedge the controller).
+    pub(crate) fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// One wait on the rendezvous condvar.
+    pub(crate) fn wait_state<'a>(
+        &'a self,
+        guard: StdMutexGuard<'a, SchedState>,
+    ) -> StdMutexGuard<'a, SchedState> {
+        self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Exploration budgets.
+#[derive(Debug, Clone)]
+pub struct ExploreOpts {
+    /// Maximum number of distinct schedules to run.
+    pub max_schedules: u64,
+    /// Maximum scheduling decisions within a single run (guards against
+    /// models that loop forever).
+    pub max_steps: usize,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            max_schedules: 5_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// What went wrong on the offending schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Some thread remained blocked with no enabled operation anywhere
+    /// (includes lost wakeups, which park a waiter forever).
+    Deadlock,
+    /// The model closure itself panicked — a failed assertion under this
+    /// schedule.
+    AssertionFailed,
+    /// Replay diverged from the recorded prefix; the model is
+    /// nondeterministic (e.g. branches on wall-clock time or randomness).
+    Divergence,
+}
+
+/// A schedule under which the model misbehaved.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Classification of the failure.
+    pub kind: ViolationKind,
+    /// Human-readable description (stuck-thread table or panic message).
+    pub detail: String,
+    /// Per-step operation log of the offending run.
+    pub trace: Vec<String>,
+    /// Thread ids in grant order — replaying these choices reproduces
+    /// the failure deterministically.
+    pub schedule: Vec<usize>,
+}
+
+/// Aggregate result of an exploration.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Completed schedules actually run (excludes sleep-set-pruned
+    /// redundant runs).
+    pub schedules: u64,
+    /// Runs cut short by sleep-set pruning (their interleavings are
+    /// covered by counted schedules).
+    pub pruned: u64,
+    /// Schedules that hit `max_steps` before finishing.
+    pub truncated: u64,
+    /// Whether every non-redundant schedule was explored within budget.
+    pub exhausted: bool,
+    /// Deepest run, in scheduling decisions.
+    pub max_depth: usize,
+    /// First failure found, if any (exploration stops at the first).
+    pub violation: Option<Violation>,
+    /// Operation log of the first completed schedule, for inspection.
+    pub sample_trace: Vec<String>,
+}
+
+impl Outcome {
+    /// Panics with the offending schedule and trace if the exploration
+    /// found a violation.
+    pub fn assert_ok(&self, model: &str) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "model '{model}' violated: {:?} — {}\nschedule (thread grant order): {:?}\ntrace:\n  {}",
+                v.kind,
+                v.detail,
+                v.schedule,
+                v.trace.join("\n  "),
+            );
+        }
+    }
+}
+
+/// Handle to a thread spawned with [`spawn`]; joining is a scheduling
+/// switch point.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: ResultSlot<T>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish_non_exhaustive()
+    }
+}
+
+type ResultSlot<T> = Arc<StdMutex<Option<Result<T, String>>>>;
+
+impl<T> JoinHandle<T> {
+    /// Waits (as a scheduled operation) for the thread to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic message if the thread panicked, mirroring
+    /// `std::thread::JoinHandle::join`'s `Err` case.
+    pub fn join(self) -> Result<T, String> {
+        hook::join(self.tid);
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread left no result")
+    }
+}
+
+/// Spawns a model thread inside the current explorer run.
+///
+/// # Panics
+///
+/// Panics if called outside a closure being driven by [`explore`] —
+/// models must create all their threads through the explorer so it can
+/// schedule them.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (ctrl, _) = hook::current().expect("model::spawn called outside an explorer run");
+    let tid = {
+        let mut st = ctrl.lock_state();
+        st.threads.push(ThreadSlot {
+            status: Status::Running,
+        });
+        st.threads.len() - 1
+    };
+    let slot: ResultSlot<T> = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let ctrl2 = Arc::clone(&ctrl);
+    let os = std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || {
+            hook::install(Arc::clone(&ctrl2), tid);
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                hook::begin();
+                f()
+            }));
+            let (val, panicked, msg) = classify(res);
+            *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(match val {
+                Some(v) => Ok(v),
+                None => Err(msg.clone().unwrap_or_else(|| "panicked".to_string())),
+            });
+            finish(&ctrl2, tid, panicked, msg);
+        })
+        .expect("spawn model thread");
+    ctrl.lock_state().os_handles.push(os);
+    JoinHandle { tid, slot }
+}
+
+/// Explores interleavings of `f` and reports what was found.
+///
+/// `f` is run once per schedule and must be deterministic apart from
+/// scheduling: same facade operations, same spawns, given the same grant
+/// order (nondeterminism is detected and reported as
+/// [`ViolationKind::Divergence`]). Exploration stops at the first
+/// violation or when the budget is spent.
+pub fn explore<F: Fn() + Sync>(opts: &ExploreOpts, f: F) -> Outcome {
+    install_quiet_panic_hook();
+    let mut frontier: Vec<Vec<ForcedChoice>> = vec![Vec::new()];
+    let mut out = Outcome {
+        schedules: 0,
+        pruned: 0,
+        truncated: 0,
+        exhausted: true,
+        max_depth: 0,
+        violation: None,
+        sample_trace: Vec::new(),
+    };
+    while let Some(forced) = frontier.pop() {
+        if out.schedules >= opts.max_schedules {
+            out.exhausted = false;
+            break;
+        }
+        let run = run_once(&f, &forced, opts.max_steps);
+        out.max_depth = out.max_depth.max(run.decisions.len());
+        let schedule: Vec<usize> = run.decisions.iter().map(|d| d.chosen).collect();
+        let mut stop = false;
+        match run.end {
+            RunEnd::Pruned => out.pruned += 1,
+            RunEnd::Complete => {
+                out.schedules += 1;
+                if out.sample_trace.is_empty() {
+                    out.sample_trace.clone_from(&run.trace);
+                }
+            }
+            RunEnd::StepLimit => {
+                out.schedules += 1;
+                out.truncated += 1;
+            }
+            RunEnd::Deadlock(detail) => {
+                out.schedules += 1;
+                out.violation = Some(Violation {
+                    kind: ViolationKind::Deadlock,
+                    detail,
+                    trace: run.trace.clone(),
+                    schedule,
+                });
+                stop = true;
+            }
+            RunEnd::MainPanicked(detail) => {
+                out.schedules += 1;
+                out.violation = Some(Violation {
+                    kind: ViolationKind::AssertionFailed,
+                    detail,
+                    trace: run.trace.clone(),
+                    schedule,
+                });
+                stop = true;
+            }
+            RunEnd::Divergence(detail) => {
+                out.violation = Some(Violation {
+                    kind: ViolationKind::Divergence,
+                    detail,
+                    trace: run.trace.clone(),
+                    schedule,
+                });
+                stop = true;
+            }
+        }
+        if stop {
+            out.exhausted = false;
+            break;
+        }
+        expand(&mut frontier, &forced, &run.decisions);
+    }
+    if !frontier.is_empty() {
+        out.exhausted = false;
+    }
+    out
+}
+
+/// Silences panic output from (a) explorer-initiated aborts and (b)
+/// deliberate model panics — faults a model injects on purpose, marked
+/// by `[deliberate]` in the message. A fault-injection model panics on
+/// every schedule; printing thousands of expected backtraces would bury
+/// real failures. Genuine assertion failures still print and are still
+/// reported as [`ViolationKind::AssertionFailed`].
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.downcast_ref::<AbortRun>().is_some() {
+                return;
+            }
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if msg.is_some_and(|m| m.contains("[deliberate]")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// One forced scheduling choice during prefix replay.
+struct ForcedChoice {
+    tid: usize,
+    /// Threads put to sleep at this decision because sibling branches
+    /// starting with them were already queued (Godefroid sleep sets).
+    born_sleep: Vec<usize>,
+}
+
+/// A decision point recorded during a run.
+struct Decision {
+    enabled: Vec<usize>,
+    chosen: usize,
+    /// Sleep set in force when the decision was made (after applying
+    /// `born_sleep`); alternatives in it are redundant and not queued.
+    sleep_before: Vec<usize>,
+}
+
+enum RunEnd {
+    Complete,
+    Pruned,
+    StepLimit,
+    Deadlock(String),
+    MainPanicked(String),
+    Divergence(String),
+}
+
+struct RunOutput {
+    end: RunEnd,
+    decisions: Vec<Decision>,
+    trace: Vec<String>,
+}
+
+/// Queues the unexplored sibling branches of `decisions` beyond the
+/// already-forced prefix, deepest decision on top (depth-first order).
+fn expand(frontier: &mut Vec<Vec<ForcedChoice>>, forced: &[ForcedChoice], decisions: &[Decision]) {
+    for d in forced.len()..decisions.len() {
+        let dec = &decisions[d];
+        // Threads already covered at this decision: the branch just
+        // executed plus each sibling queued before (they sleep in
+        // later siblings until a dependent operation runs).
+        let mut prior = vec![dec.chosen];
+        let mut alts: Vec<Vec<ForcedChoice>> = Vec::new();
+        for &alt in &dec.enabled {
+            if prior.contains(&alt) || dec.sleep_before.contains(&alt) {
+                continue;
+            }
+            let mut child: Vec<ForcedChoice> = (0..d)
+                .map(|i| ForcedChoice {
+                    tid: decisions[i].chosen,
+                    born_sleep: if i < forced.len() {
+                        forced[i].born_sleep.clone()
+                    } else {
+                        Vec::new()
+                    },
+                })
+                .collect();
+            child.push(ForcedChoice {
+                tid: alt,
+                born_sleep: prior.clone(),
+            });
+            alts.push(child);
+            prior.push(alt);
+        }
+        // Reverse so the first alternative is popped first.
+        for child in alts.into_iter().rev() {
+            frontier.push(child);
+        }
+    }
+}
+
+/// Runs `f` once under the schedule prefix `forced`, then default
+/// (lowest enabled, sleep-respecting) choices.
+fn run_once<F: Fn() + Sync>(f: &F, forced: &[ForcedChoice], max_steps: usize) -> RunOutput {
+    let ctrl = Arc::new(Control::new());
+    ctrl.lock_state().threads.push(ThreadSlot {
+        status: Status::Running,
+    });
+    std::thread::scope(|s| {
+        let ctrl_main = Arc::clone(&ctrl);
+        let main_h = s.spawn(move || {
+            hook::install(Arc::clone(&ctrl_main), 0);
+            let res = catch_unwind(AssertUnwindSafe(f));
+            let (_, panicked, msg) = classify(res.map(|_| ()));
+            finish(&ctrl_main, 0, panicked, msg);
+        });
+        let out = controller(&ctrl, forced, max_steps);
+        // Teardown: wake every blocked thread with the abort flag set so
+        // it unwinds, then join everything this run spawned.
+        ctrl.lock_state().abort = true;
+        ctrl.cv.notify_all();
+        let _ = main_h.join();
+        loop {
+            let handles: Vec<_> = {
+                let mut st = ctrl.lock_state();
+                st.os_handles.drain(..).collect()
+            };
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        out
+    })
+}
+
+/// The deterministic scheduler for one run.
+fn controller(ctrl: &Control, forced: &[ForcedChoice], max_steps: usize) -> RunOutput {
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut sleep: Vec<usize> = Vec::new();
+    loop {
+        let mut st = ctrl.lock_state();
+        while st
+            .threads
+            .iter()
+            .any(|t| matches!(t.status, Status::Running))
+        {
+            st = ctrl.wait_state(st);
+        }
+        let main_panic = match &st.threads[0].status {
+            Status::Finished {
+                panicked: true,
+                msg,
+            } => Some(msg.clone().unwrap_or_default()),
+            _ => None,
+        };
+        if st
+            .threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished { .. }))
+        {
+            let end = match main_panic {
+                Some(msg) => RunEnd::MainPanicked(msg),
+                None => RunEnd::Complete,
+            };
+            return RunOutput {
+                end,
+                decisions,
+                trace: st.trace.clone(),
+            };
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(tid, t)| match &t.status {
+                Status::Announced(p) => is_enabled(&st, *tid, p),
+                _ => false,
+            })
+            .map(|(tid, _)| tid)
+            .collect();
+        if enabled.is_empty() {
+            // Threads remain but nothing can make progress. If the main
+            // thread's assertion already failed, report that as the root
+            // cause rather than the stuck children it abandoned.
+            let end = match main_panic {
+                Some(msg) => RunEnd::MainPanicked(msg),
+                None => RunEnd::Deadlock(describe_stuck(&st)),
+            };
+            return RunOutput {
+                end,
+                decisions,
+                trace: st.trace.clone(),
+            };
+        }
+        if decisions.len() >= max_steps {
+            return RunOutput {
+                end: RunEnd::StepLimit,
+                decisions,
+                trace: st.trace.clone(),
+            };
+        }
+        let depth = decisions.len();
+        let chosen = if depth < forced.len() {
+            for &t in &forced[depth].born_sleep {
+                if !sleep.contains(&t) {
+                    sleep.push(t);
+                }
+            }
+            let c = forced[depth].tid;
+            if !enabled.contains(&c) || sleep.contains(&c) {
+                return RunOutput {
+                    end: RunEnd::Divergence(format!(
+                        "replay step {depth} chose t{c} but it is {} — model must be \
+                         deterministic apart from scheduling",
+                        if sleep.contains(&c) {
+                            "asleep"
+                        } else {
+                            "not enabled"
+                        }
+                    )),
+                    decisions,
+                    trace: st.trace.clone(),
+                };
+            }
+            c
+        } else {
+            match enabled.iter().copied().find(|t| !sleep.contains(t)) {
+                Some(c) => c,
+                None => {
+                    // Every enabled thread sleeps: this continuation is
+                    // covered by an already-explored sibling branch.
+                    return RunOutput {
+                        end: RunEnd::Pruned,
+                        decisions,
+                        trace: st.trace.clone(),
+                    };
+                }
+            }
+        };
+        decisions.push(Decision {
+            enabled: enabled.clone(),
+            chosen,
+            sleep_before: sleep.clone(),
+        });
+        let executed = apply_grant(&mut st, chosen);
+        // A sleeping thread wakes only when a dependent operation runs —
+        // until then, running it would just commute with what happened.
+        sleep.retain(|&t| match &st.threads[t].status {
+            Status::Announced(p) => !dependent(&desc_of(p), &executed),
+            _ => false,
+        });
+        ctrl.cv.notify_all();
+        drop(st);
+    }
+}
+
+/// Dependency footprint of an operation: the objects it touches and
+/// whether it writes them.
+struct OpDesc {
+    objs: Vec<(usize, bool)>,
+    always_dep: bool,
+}
+
+fn desc_of(p: &Pending) -> OpDesc {
+    match p {
+        // Spawns and joins order thread lifetimes; treat as dependent
+        // with everything rather than model them precisely.
+        Pending::Begin | Pending::Join { .. } => OpDesc {
+            objs: Vec::new(),
+            always_dep: true,
+        },
+        Pending::AtomicOp { obj, kind, .. } => OpDesc {
+            objs: vec![(*obj, !matches!(kind, AtomicKind::Load))],
+            always_dep: false,
+        },
+        Pending::Lock { obj } | Pending::Unlock { obj, .. } => OpDesc {
+            objs: vec![(*obj, true)],
+            always_dep: false,
+        },
+        Pending::Wait { cv, lock } | Pending::Reacquire { cv, lock } => OpDesc {
+            objs: vec![(*cv, true), (*lock, true)],
+            always_dep: false,
+        },
+        Pending::Notify { cv, .. } => OpDesc {
+            objs: vec![(*cv, true)],
+            always_dep: false,
+        },
+    }
+}
+
+fn dependent(a: &OpDesc, b: &OpDesc) -> bool {
+    if a.always_dep || b.always_dep {
+        return true;
+    }
+    a.objs
+        .iter()
+        .any(|(oa, wa)| b.objs.iter().any(|(ob, wb)| oa == ob && (*wa || *wb)))
+}
+
+fn is_enabled(st: &SchedState, tid: usize, p: &Pending) -> bool {
+    match p {
+        Pending::Lock { obj } | Pending::Reacquire { lock: obj, .. } => match st.locks.get(obj) {
+            Some(l) => l.holder.is_none(),
+            None => true,
+        },
+        Pending::Join { target } => matches!(st.threads[*target].status, Status::Finished { .. }),
+        // The waiter holds the lock until the wait is granted.
+        Pending::Wait { lock, .. } => match st.locks.get(lock) {
+            Some(l) => l.holder == Some(tid),
+            None => false,
+        },
+        _ => true,
+    }
+}
+
+/// Applies the granted operation's logical effects, records the trace
+/// line, and returns its dependency footprint.
+fn apply_grant(st: &mut SchedState, tid: usize) -> OpDesc {
+    let p = match &st.threads[tid].status {
+        Status::Announced(p) => p.clone(),
+        other => unreachable!("granting t{tid} while {other:?}"),
+    };
+    let desc = desc_of(&p);
+    match &p {
+        Pending::Begin => {
+            st.trace.push(format!("t{tid} begin"));
+            st.threads[tid].status = Status::Running;
+        }
+        Pending::AtomicOp {
+            obj,
+            label,
+            ordering,
+            ..
+        } => {
+            let name = st.display(*obj);
+            st.trace
+                .push(format!("t{tid} {label}({ordering:?}) {name}"));
+            st.threads[tid].status = Status::Running;
+        }
+        Pending::Lock { obj } => {
+            st.locks.entry(*obj).or_default().holder = Some(tid);
+            let name = st.display(*obj);
+            st.trace.push(format!("t{tid} lock {name}"));
+            st.threads[tid].status = Status::Running;
+        }
+        Pending::Unlock { obj, poison } => {
+            st.locks.entry(*obj).or_default().holder = None;
+            let name = st.display(*obj);
+            let tag = if *poison { " (poisoning)" } else { "" };
+            st.trace.push(format!("t{tid} unlock {name}{tag}"));
+            st.threads[tid].status = Status::Running;
+        }
+        Pending::Wait { cv, lock } => {
+            st.locks.entry(*lock).or_default().holder = None;
+            st.cv_queues.entry(*cv).or_default().push(tid);
+            let cv_name = st.display(*cv);
+            let lock_name = st.display(*lock);
+            st.trace.push(format!(
+                "t{tid} wait {cv_name} releasing {lock_name} (parked)"
+            ));
+            st.threads[tid].status = Status::SleepingCv {
+                cv: *cv,
+                lock: *lock,
+            };
+        }
+        Pending::Reacquire { cv, lock } => {
+            st.locks.entry(*lock).or_default().holder = Some(tid);
+            let cv_name = st.display(*cv);
+            let lock_name = st.display(*lock);
+            st.trace.push(format!(
+                "t{tid} reacquire {lock_name} after {cv_name} (unparked)"
+            ));
+            st.threads[tid].status = Status::Running;
+        }
+        Pending::Notify { cv, all } => {
+            let queue = st.cv_queues.entry(*cv).or_default();
+            let take = if *all {
+                queue.len()
+            } else {
+                queue.len().min(1)
+            };
+            let woken: Vec<usize> = queue.drain(..take).collect();
+            for &w in &woken {
+                let lock = match st.threads[w].status {
+                    Status::SleepingCv { lock, .. } => lock,
+                    ref other => unreachable!("notified t{w} while {other:?}"),
+                };
+                st.threads[w].status = Status::Announced(Pending::Reacquire { cv: *cv, lock });
+            }
+            let cv_name = st.display(*cv);
+            let verb = if *all { "notify_all" } else { "notify_one" };
+            let target = if woken.is_empty() {
+                "no waiters".to_string()
+            } else {
+                format!(
+                    "unpark {}",
+                    woken
+                        .iter()
+                        .map(|w| format!("t{w}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            };
+            st.trace
+                .push(format!("t{tid} {verb} {cv_name} -> {target}"));
+            st.threads[tid].status = Status::Running;
+        }
+        Pending::Join { target } => {
+            st.trace.push(format!("t{tid} join t{target}"));
+            st.threads[tid].status = Status::Running;
+        }
+    }
+    desc
+}
+
+fn describe_stuck(st: &SchedState) -> String {
+    let mut parts = Vec::new();
+    for (tid, t) in st.threads.iter().enumerate() {
+        let what = match &t.status {
+            Status::Running => "running".to_string(),
+            Status::Announced(p) => format!("blocked at {}", pending_label(st, p)),
+            Status::SleepingCv { cv, .. } => {
+                format!("parked on {} awaiting a notify", st.display(*cv))
+            }
+            Status::Finished { panicked, .. } => {
+                format!("finished{}", if *panicked { " (panicked)" } else { "" })
+            }
+        };
+        parts.push(format!("t{tid}: {what}"));
+    }
+    format!("no runnable thread — {}", parts.join("; "))
+}
+
+fn pending_label(st: &SchedState, p: &Pending) -> String {
+    match p {
+        Pending::Begin => "begin".to_string(),
+        Pending::AtomicOp {
+            obj,
+            label,
+            ordering,
+            ..
+        } => format!("{label}({ordering:?}) {}", st.display(*obj)),
+        Pending::Lock { obj } => format!("lock {}", st.display(*obj)),
+        Pending::Unlock { obj, .. } => format!("unlock {}", st.display(*obj)),
+        Pending::Wait { cv, lock } => {
+            format!("wait {} releasing {}", st.display(*cv), st.display(*lock))
+        }
+        Pending::Reacquire { cv, lock } => {
+            format!("reacquire {} after {}", st.display(*lock), st.display(*cv))
+        }
+        Pending::Notify { cv, all } => format!(
+            "{} {}",
+            if *all { "notify_all" } else { "notify_one" },
+            st.display(*cv)
+        ),
+        Pending::Join { target } => format!("join t{target}"),
+    }
+}
+
+fn finish(ctrl: &Control, tid: usize, panicked: bool, msg: Option<String>) {
+    let mut st = ctrl.lock_state();
+    st.trace.push(format!(
+        "t{tid} finished{}",
+        if panicked { " (panicked)" } else { "" }
+    ));
+    st.threads[tid].status = Status::Finished { panicked, msg };
+    ctrl.cv.notify_all();
+}
+
+/// Splits a `catch_unwind` result into value / real-panic flag / message,
+/// treating explorer-initiated aborts as neither value nor panic.
+fn classify<T>(res: std::thread::Result<T>) -> (Option<T>, bool, Option<String>) {
+    match res {
+        Ok(v) => (Some(v), false, None),
+        Err(payload) => {
+            if payload.downcast_ref::<AbortRun>().is_some() {
+                (None, false, Some("aborted by the explorer".to_string()))
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (None, true, Some((*s).to_string()))
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                (None, true, Some(s.clone()))
+            } else {
+                (None, true, Some("non-string panic payload".to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicU64;
+    use crate::{Condvar, Mutex};
+
+    #[test]
+    fn counter_increments_survive_every_interleaving() {
+        let out = explore(&ExploreOpts::default(), || {
+            let n = Arc::new(Mutex::new(0u32));
+            let mut workers = Vec::new();
+            for _ in 0..2 {
+                let n2 = Arc::clone(&n);
+                workers.push(spawn(move || {
+                    let mut g = n2.lock().expect("unpoisoned");
+                    *g += 1;
+                }));
+            }
+            for w in workers {
+                w.join().expect("worker");
+            }
+            assert_eq!(*n.lock().expect("unpoisoned"), 2);
+        });
+        out.assert_ok("mutex counter");
+        assert!(out.exhausted, "tiny model must fit the budget: {out:?}");
+        assert!(out.schedules >= 2, "expected real branching: {out:?}");
+        assert_eq!(out.truncated, 0);
+    }
+
+    #[test]
+    fn independent_threads_prune_redundant_schedules() {
+        let out = explore(&ExploreOpts::default(), || {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let a2 = Arc::clone(&a);
+            let t1 = spawn(move || *a2.lock().expect("unpoisoned") += 1);
+            let b2 = Arc::clone(&b);
+            let t2 = spawn(move || *b2.lock().expect("unpoisoned") += 1);
+            t1.join().expect("t1");
+            t2.join().expect("t2");
+            assert_eq!(*a.lock().expect("unpoisoned"), 1);
+            assert_eq!(*b.lock().expect("unpoisoned"), 1);
+        });
+        out.assert_ok("independent locks");
+        assert!(out.exhausted);
+        assert!(
+            out.pruned > 0,
+            "disjoint-lock interleavings should hit the sleep set: {out:?}"
+        );
+    }
+
+    #[test]
+    fn ab_ba_lock_order_deadlock_is_found() {
+        let out = explore(&ExploreOpts::default(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = spawn(move || {
+                let _ga = a2.lock().expect("unpoisoned");
+                let _gb = b2.lock().expect("unpoisoned");
+            });
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = spawn(move || {
+                let _gb = b3.lock().expect("unpoisoned");
+                let _ga = a3.lock().expect("unpoisoned");
+            });
+            let _ = t1.join();
+            let _ = t2.join();
+        });
+        let v = out
+            .violation
+            .expect("AB/BA ordering must deadlock somewhere");
+        assert_eq!(v.kind, ViolationKind::Deadlock);
+        assert!(v.detail.contains("blocked at lock"), "detail: {}", v.detail);
+    }
+
+    #[test]
+    fn lost_wakeup_shows_up_as_a_deterministic_deadlock() {
+        let out = explore(&ExploreOpts::default(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let consumer = spawn(move || {
+                let (m, cv) = &*p2;
+                // BUG under test: flag checked in one critical section,
+                // wait entered in another — the producer can slip
+                // between them and its notify finds no waiter.
+                let ready = *m.lock().expect("unpoisoned");
+                if !ready {
+                    let g = m.lock().expect("unpoisoned");
+                    let _g = cv.wait(g).expect("unpoisoned");
+                }
+            });
+            let p3 = Arc::clone(&pair);
+            let producer = spawn(move || {
+                let (m, cv) = &*p3;
+                *m.lock().expect("unpoisoned") = true;
+                cv.notify_one();
+            });
+            let _ = consumer.join();
+            let _ = producer.join();
+        });
+        let v = out
+            .violation
+            .expect("lost wakeup must park the consumer forever");
+        assert_eq!(v.kind, ViolationKind::Deadlock);
+        assert!(v.detail.contains("parked"), "detail: {}", v.detail);
+        assert!(
+            v.trace.iter().any(|l| l.contains("no waiters")),
+            "trace should show the notify missing its waiter:\n{}",
+            v.trace.join("\n")
+        );
+    }
+
+    #[test]
+    fn unsynchronized_read_modify_write_loses_an_update() {
+        let out = explore(&ExploreOpts::default(), || {
+            let n = Arc::new(AtomicU64::new(0));
+            let mut workers = Vec::new();
+            for _ in 0..2 {
+                let n2 = Arc::clone(&n);
+                workers.push(spawn(move || {
+                    // BUG under test: load+store instead of fetch_add.
+                    let v = n2.load(Ordering::Relaxed);
+                    n2.store(v + 1, Ordering::Relaxed);
+                }));
+            }
+            for w in workers {
+                w.join().expect("worker");
+            }
+            assert_eq!(
+                n.load(Ordering::Relaxed),
+                2,
+                "[deliberate] lost update is the expected counterexample"
+            );
+        });
+        let v = out.violation.expect("some schedule loses an update");
+        assert_eq!(v.kind, ViolationKind::AssertionFailed);
+    }
+
+    #[test]
+    fn schedule_budget_is_respected() {
+        let opts = ExploreOpts {
+            max_schedules: 3,
+            max_steps: 10_000,
+        };
+        let out = explore(&opts, || {
+            let n = Arc::new(AtomicU64::new(0));
+            let mut workers = Vec::new();
+            for _ in 0..3 {
+                let n2 = Arc::clone(&n);
+                workers.push(spawn(move || {
+                    n2.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            for w in workers {
+                w.join().expect("worker");
+            }
+        });
+        out.assert_ok("budgeted");
+        assert_eq!(out.schedules, 3);
+        assert!(!out.exhausted, "3 schedules cannot cover 3 threads");
+    }
+}

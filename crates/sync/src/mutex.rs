@@ -1,0 +1,312 @@
+//! Facade [`Mutex`] and [`Condvar`].
+//!
+//! Normal builds delegate to `std::sync` with the same poisoning
+//! semantics (`lock` returns a `LockResult`; a guard dropped during a
+//! panic poisons the lock). Under `model-check`, acquisition, release,
+//! wait, and notify are scheduler switch points; condvar blocking is
+//! simulated entirely by the explorer so a notify with no waiter is a
+//! recorded no-op — exactly the lost-wakeup shape the models assert
+//! against.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError};
+
+#[cfg(feature = "model-check")]
+use crate::model::hook;
+
+/// Facade mutex; see the module docs.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `t`.
+    #[inline]
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    #[cfg(feature = "model-check")]
+    pub(crate) fn obj_id(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Acquires the lock, blocking the calling thread until it is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PoisonError`] wrapping the guard if another thread
+    /// panicked while holding this lock; the data stays accessible via
+    /// [`PoisonError::into_inner`].
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        #[cfg(feature = "model-check")]
+        hook::lock_acquire(self.obj_id());
+        // Under an explorer run the scheduler only grants the
+        // acquisition once the logical holder has physically released,
+        // so this inner lock never blocks against a descheduled holder.
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    /// Acquires the lock, recovering from poisoning.
+    ///
+    /// The runner's result slots and progress board are index-keyed —
+    /// a panicking writer cannot leave them in a state later readers
+    /// would misread — so recovery is safe there and every facade call
+    /// site documents why it is at its own use.
+    #[inline]
+    pub fn lock_recovering(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether a holder panicked while holding this lock.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Consumes the mutex, returning the inner value (recovering from
+    /// poisoning, which cannot invalidate the value itself).
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("poisoned", &self.is_poisoned())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases (and, mid-panic, poisons) the
+/// lock on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently while a condvar wait has taken the inner
+    /// guard; a guard in that state releases nothing on drop.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard surrendered to a wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard surrendered to a wait")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            // Physically release before announcing, so any waiter the
+            // scheduler grants next finds the std mutex free.
+            drop(g);
+            #[cfg(feature = "model-check")]
+            hook::lock_release(self.lock.obj_id(), std::thread::panicking());
+        }
+    }
+}
+
+/// Facade condition variable; see the module docs.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    #[inline]
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    #[cfg(feature = "model-check")]
+    fn obj_id(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Releases `guard`'s lock and blocks until notified, then
+    /// reacquires the lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock poisoning on reacquisition, like
+    /// [`Mutex::lock`].
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        #[cfg(feature = "model-check")]
+        if hook::in_model_run() {
+            return self.model_wait(guard);
+        }
+        let lock = guard.lock;
+        let mut guard = guard;
+        let std_guard = guard
+            .inner
+            .take()
+            .expect("guard surrendered to a wait twice");
+        drop(guard); // inner already taken: drops without releasing
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard {
+                lock,
+                inner: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock,
+                inner: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    /// Scheduler-simulated wait: physically release, announce the wait
+    /// (which atomically releases the logical lock, parks this thread,
+    /// and — once notified and granted — logically reacquires), then
+    /// physically relock.
+    #[cfg(feature = "model-check")]
+    fn model_wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let mut guard = guard;
+        drop(
+            guard
+                .inner
+                .take()
+                .expect("guard surrendered to a wait twice"),
+        );
+        drop(guard);
+        hook::condvar_wait(self.obj_id(), lock.obj_id());
+        match lock.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock,
+                inner: Some(g),
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock,
+                inner: Some(p.into_inner()),
+            })),
+        }
+    }
+
+    /// Blocks until `pred` returns `false` (re-checked after every
+    /// wakeup, so it is spurious-wakeup safe by construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock poisoning, like [`Mutex::lock`].
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut pred: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while pred(&mut *guard) {
+            guard = self.wait(guard)?;
+        }
+        Ok(guard)
+    }
+
+    /// Wakes one waiter (the longest-waiting one, deterministically,
+    /// under the explorer; whichever the OS picks otherwise).
+    #[inline]
+    pub fn notify_one(&self) {
+        #[cfg(feature = "model-check")]
+        hook::condvar_notify(self.obj_id(), false);
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    #[inline]
+    pub fn notify_all(&self) {
+        #[cfg(feature = "model-check")]
+        hook::condvar_notify(self.obj_id(), true);
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip_and_debug() {
+        let m = Mutex::new(7u32);
+        {
+            let mut g = m.lock().expect("unpoisoned");
+            *g += 1;
+        }
+        assert_eq!(*m.lock_recovering(), 8);
+        assert!(!m.is_poisoned());
+        assert!(format!("{m:?}").contains("poisoned"));
+        assert_eq!(m.into_inner(), 8);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_with_the_data_intact() {
+        let m = std::sync::Arc::new(Mutex::new(vec![1, 2]));
+        let m2 = std::sync::Arc::clone(&m);
+        let panicked = std::thread::spawn(move || {
+            let mut g = m2.lock_recovering();
+            g.push(3);
+            panic!("poison the lock mid-update");
+        })
+        .join();
+        assert!(panicked.is_err());
+        assert!(m.is_poisoned());
+        assert!(m.lock().is_err(), "plain lock surfaces the poison");
+        assert_eq!(*m.lock_recovering(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_while_sees_the_notify() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = std::sync::Arc::clone(&pair);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock_recovering() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let g = cv
+            .wait_while(m.lock_recovering(), |ready| !*ready)
+            .expect("unpoisoned");
+        assert!(*g);
+        drop(g);
+        waker.join().expect("waker");
+    }
+}

@@ -1,0 +1,16 @@
+//! Facade thread handles: re-exports of `std::thread`'s spawning and
+//! join types, so pipeline crates need no `std::thread` import (the
+//! `sync-primitive-outside-facade` audit rule covers `std::thread` too).
+//!
+//! These stay passthrough even under `model-check`: explorer models
+//! spawn their threads through [`crate::model::spawn`], whose handles
+//! make `join` a scheduler switch point. Production code keeps
+//! `std::thread::scope`'s structured-concurrency guarantees unchanged —
+//! the explorer proves the *protocols* (barrier, watchdog, degradation,
+//! poison recovery) on focused models rather than intercepting OS
+//! threads wholesale.
+
+pub use std::thread::{
+    available_parallelism, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+    ScopedJoinHandle,
+};

@@ -1,0 +1,386 @@
+//! Bounded interleaving models of the simulator's four concurrency
+//! protocols, explored by `mempod_sync::model` (only with
+//! `--features model-check`).
+//!
+//! Each model is a focused re-statement of a real protocol in
+//! `crates/sim` against the facade primitives, with the protocol's
+//! safety property asserted on every explored schedule:
+//!
+//! 1. **Shard barrier** — N workers crossing generation barriers; nobody
+//!    passes barrier `g` before every worker finished its generation-`g`
+//!    work (the property the sharded driver's per-batch fork/join
+//!    provides).
+//! 2. **Watchdog cancel vs. completion** — cooperative cancellation
+//!    polled at batch boundaries racing job completion; the outcome is
+//!    always coherent (done means all batches ran; cancelled means the
+//!    partial count sits on a batch boundary).
+//! 3. **Shard panic → sequential degradation** — a worker dies holding
+//!    the results lock; the driver recovers the poisoned lock and
+//!    recomputes the missing slot exactly once.
+//! 4. **Progress-board poison recovery** — a worker panics between two
+//!    board updates; readers recover and the counters still reconcile.
+//!
+//! The `suite_report` test re-runs all four, requires ≥ 1,000 explored
+//! schedules in total with zero violations, and writes
+//! `model_check.report.json` at the repo root (a CI artifact).
+
+#![cfg(feature = "model-check")]
+
+use mempod_sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use mempod_sync::model::{self, ExploreOpts, Outcome};
+use mempod_sync::{Arc, Condvar, Mutex};
+
+/// Generation barrier in the style of the sharded driver's per-batch
+/// rendezvous: last arriver flips the generation and wakes the rest.
+#[derive(Debug, Default)]
+struct GenBarrier {
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl GenBarrier {
+    fn wait(&self, n: usize) {
+        let mut g = self.state.lock().expect("barrier state unpoisoned");
+        let gen = g.1;
+        g.0 += 1;
+        if g.0 == n {
+            g.0 = 0;
+            g.1 += 1;
+            drop(g);
+            self.cv.notify_all();
+        } else {
+            let _g = self
+                .cv
+                .wait_while(g, |s| s.1 == gen)
+                .expect("barrier state unpoisoned");
+        }
+    }
+}
+
+const BARRIER_WORKERS: usize = 3;
+const BARRIER_GENERATIONS: usize = 2;
+
+fn barrier_model() {
+    let barrier = Arc::new(GenBarrier::default());
+    let entered: Arc<Vec<AtomicUsize>> = Arc::new(
+        (0..BARRIER_GENERATIONS)
+            .map(|_| AtomicUsize::new(0))
+            .collect(),
+    );
+    let mut workers = Vec::new();
+    for _ in 0..BARRIER_WORKERS {
+        let barrier = Arc::clone(&barrier);
+        let entered = Arc::clone(&entered);
+        workers.push(model::spawn(move || {
+            for gen in 0..BARRIER_GENERATIONS {
+                // "Generation work": count this worker's contribution.
+                entered[gen].fetch_add(1, Ordering::Relaxed);
+                barrier.wait(BARRIER_WORKERS);
+                // Barrier property: every worker's generation-`gen` work
+                // happened before anyone proceeds past the barrier.
+                assert_eq!(
+                    entered[gen].load(Ordering::Relaxed),
+                    BARRIER_WORKERS,
+                    "worker passed barrier {gen} before the generation completed"
+                );
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("barrier worker");
+    }
+    for gen in 0..BARRIER_GENERATIONS {
+        assert_eq!(entered[gen].load(Ordering::Relaxed), BARRIER_WORKERS);
+    }
+}
+
+const JOB_BATCHES: u64 = 3;
+const BATCH_REQUESTS: u64 = 4;
+const STATE_RUNNING: u8 = 0;
+const STATE_DONE: u8 = 1;
+const STATE_CANCELLED: u8 = 2;
+
+/// Watchdog cancellation racing job completion, shaped like
+/// `run_jobs_core` + the simulator's batch-boundary cancel poll: the job
+/// checks its token only between batches, the watchdog trips the token
+/// at an arbitrary point, and the join-side conversion (done + tripped
+/// token => still done; cancelled => partial on a batch boundary) must
+/// hold on every schedule.
+fn watchdog_model() {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(AtomicU8::new(STATE_RUNNING));
+    let done = Arc::new(AtomicU64::new(0));
+
+    let (c2, s2, d2) = (Arc::clone(&cancel), Arc::clone(&state), Arc::clone(&done));
+    let job = model::spawn(move || {
+        for _ in 0..JOB_BATCHES {
+            // Batch-boundary poll, exactly like the simulator loops: the
+            // token is never checked mid-batch.
+            if c2.load(Ordering::Acquire) {
+                s2.store(STATE_CANCELLED, Ordering::Release);
+                return;
+            }
+            d2.fetch_add(BATCH_REQUESTS, Ordering::Relaxed);
+        }
+        s2.store(STATE_DONE, Ordering::Release);
+    });
+
+    let c3 = Arc::clone(&cancel);
+    let watchdog = model::spawn(move || {
+        // The watchdog's decision is one store; the explorer slides it to
+        // every point of the job's execution.
+        c3.store(true, Ordering::Release);
+    });
+
+    job.join().expect("job worker");
+    watchdog.join().expect("watchdog");
+
+    let finished = state.load(Ordering::Acquire);
+    let partial = done.load(Ordering::Relaxed);
+    match finished {
+        STATE_DONE => {
+            assert_eq!(
+                partial,
+                JOB_BATCHES * BATCH_REQUESTS,
+                "done means every batch ran"
+            );
+        }
+        STATE_CANCELLED => {
+            assert!(
+                cancel.load(Ordering::Acquire),
+                "cancelled without a tripped token"
+            );
+            assert_eq!(
+                partial % BATCH_REQUESTS,
+                0,
+                "partial progress must sit on a batch boundary"
+            );
+            assert!(partial < JOB_BATCHES * BATCH_REQUESTS);
+        }
+        other => panic!("job never reached a terminal state: {other}"),
+    }
+}
+
+const SHARDS: usize = 2;
+
+/// Shard-panic handoff: worker 0 dies holding the results lock (poisoning
+/// it); the driver notices at join, recovers the lock, and degrades to a
+/// sequential recompute of the missing slot — exactly once.
+fn degradation_model() {
+    let results: Arc<Mutex<Vec<Option<u32>>>> = Arc::new(Mutex::new(vec![None; SHARDS]));
+
+    let r0 = Arc::clone(&results);
+    let faulty = model::spawn(move || {
+        let mut g = r0.lock_recovering();
+        g[0] = Some(1);
+        // Injected fault while holding the lock: the guard's unwind drop
+        // poisons it.
+        panic!("[deliberate] injected shard fault");
+    });
+    let r1 = Arc::clone(&results);
+    let healthy = model::spawn(move || {
+        // Index-keyed slots: recovery is safe, same as the runner's
+        // result board.
+        r1.lock_recovering()[1] = Some(2);
+    });
+
+    let fault = faulty.join();
+    assert!(fault.is_err(), "injected fault must surface at join");
+    healthy.join().expect("healthy shard");
+
+    // Degrade path: recompute the panicked shard's slot sequentially.
+    let mut degrades = 0u32;
+    if fault.is_err() {
+        let mut g = results.lock_recovering();
+        g[0] = Some(1);
+        degrades += 1;
+    }
+    assert_eq!(degrades, 1, "degradation must run exactly once");
+    let g = results.lock_recovering();
+    assert_eq!(*g, vec![Some(1), Some(2)]);
+}
+
+/// Progress board whose writer panics between two updates under the
+/// lock; the join-side recovery books the dead job as failed and the
+/// counters reconcile on every schedule.
+#[derive(Debug, Default)]
+struct Board {
+    started: u32,
+    finished: u32,
+    failed: u32,
+}
+
+fn poison_recovery_model() {
+    let board = Arc::new(Mutex::new(Board::default()));
+
+    let b2 = Arc::clone(&board);
+    let dying = model::spawn(move || {
+        let mut g = b2.lock_recovering();
+        g.started += 1;
+        // Fault between the two board updates: `finished` never happens.
+        panic!("[deliberate] worker died mid-update");
+    });
+    let b3 = Arc::clone(&board);
+    let good = model::spawn(move || {
+        b3.lock_recovering().started += 1;
+        // Separate critical sections so other threads interleave.
+        b3.lock_recovering().finished += 1;
+    });
+
+    assert!(dying.join().is_err());
+    good.join().expect("good worker");
+    // Recovery: the dead job is accounted as failed.
+    {
+        let mut g = board.lock_recovering();
+        g.failed += 1;
+    }
+    let g = board.lock_recovering();
+    assert_eq!(g.started, 2);
+    assert_eq!(
+        g.started,
+        g.finished + g.failed,
+        "board counters must reconcile after recovery"
+    );
+}
+
+struct ModelRun {
+    name: &'static str,
+    outcome: Outcome,
+    floor: u64,
+}
+
+fn run_all(budget_scale: u64) -> Vec<ModelRun> {
+    let opts = |max_schedules: u64| ExploreOpts {
+        max_schedules: max_schedules * budget_scale,
+        max_steps: 10_000,
+    };
+    vec![
+        ModelRun {
+            name: "shard-barrier-generations",
+            outcome: model::explore(&opts(2_000), barrier_model),
+            floor: 1_500,
+        },
+        ModelRun {
+            name: "watchdog-cancel-vs-completion",
+            outcome: model::explore(&opts(1_000), watchdog_model),
+            floor: 30,
+        },
+        ModelRun {
+            name: "shard-panic-degradation",
+            outcome: model::explore(&opts(1_000), degradation_model),
+            floor: 15,
+        },
+        ModelRun {
+            name: "progress-board-poison-recovery",
+            outcome: model::explore(&opts(1_000), poison_recovery_model),
+            floor: 35,
+        },
+    ]
+}
+
+#[test]
+fn barrier_protocol_holds_on_every_schedule() {
+    let opts = ExploreOpts {
+        max_schedules: 1_000,
+        max_steps: 10_000,
+    };
+    let out = model::explore(&opts, barrier_model);
+    out.assert_ok("shard-barrier-generations");
+    assert!(out.schedules == 1_000, "budget-capped run: {out:?}");
+}
+
+#[test]
+fn watchdog_cancellation_is_coherent_on_every_schedule() {
+    let out = model::explore(&ExploreOpts::default(), watchdog_model);
+    out.assert_ok("watchdog-cancel-vs-completion");
+    assert!(
+        out.exhausted,
+        "watchdog model should be fully explorable: {out:?}"
+    );
+}
+
+#[test]
+fn shard_panic_degradation_recovers_on_every_schedule() {
+    let out = model::explore(&ExploreOpts::default(), degradation_model);
+    out.assert_ok("shard-panic-degradation");
+    assert!(
+        out.exhausted,
+        "degradation model should be fully explorable: {out:?}"
+    );
+}
+
+#[test]
+fn progress_board_recovery_reconciles_on_every_schedule() {
+    let out = model::explore(&ExploreOpts::default(), poison_recovery_model);
+    out.assert_ok("progress-board-poison-recovery");
+    assert!(
+        out.exhausted,
+        "poison-recovery model should be fully explorable: {out:?}"
+    );
+}
+
+/// Aggregate gate + CI artifact: ≥ 1,000 schedules across the suite,
+/// zero violations, and a machine-readable report for the workflow to
+/// upload.
+#[test]
+fn suite_report() {
+    let runs = run_all(1);
+    let mut total = 0u64;
+    let mut entries = Vec::new();
+    for r in &runs {
+        r.outcome.assert_ok(r.name);
+        eprintln!(
+            "MODEL {} schedules={} pruned={} truncated={} exhausted={} depth={}",
+            r.name,
+            r.outcome.schedules,
+            r.outcome.pruned,
+            r.outcome.truncated,
+            r.outcome.exhausted,
+            r.outcome.max_depth
+        );
+        assert!(
+            r.outcome.schedules >= r.floor,
+            "model '{}' explored {} schedules, below its floor {}",
+            r.name,
+            r.outcome.schedules,
+            r.floor
+        );
+        total += r.outcome.schedules;
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"model\": \"{}\",\n",
+                "      \"schedules\": {},\n",
+                "      \"pruned\": {},\n",
+                "      \"truncated\": {},\n",
+                "      \"exhausted\": {},\n",
+                "      \"max_depth\": {},\n",
+                "      \"violations\": 0\n",
+                "    }}"
+            ),
+            r.name,
+            r.outcome.schedules,
+            r.outcome.pruned,
+            r.outcome.truncated,
+            r.outcome.exhausted,
+            r.outcome.max_depth,
+        ));
+    }
+    assert!(
+        total >= 1_000,
+        "interleaving suite explored only {total} schedules in total"
+    );
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"mempod-sync interleaving models\",\n",
+            "  \"total_schedules\": {},\n",
+            "  \"models\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        total,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../model_check.report.json");
+    std::fs::write(path, report).expect("write model_check.report.json");
+}

@@ -11,7 +11,7 @@
 //! All counters are wall-clock nanoseconds and strictly observability:
 //! nothing simulated ever reads them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mempod_sync::atomic::{AtomicU64, Ordering};
 
 /// Shared accounting for one run's phases (attach via `Arc`).
 ///

@@ -1,10 +1,10 @@
 //! Pluggable JSONL sinks for the event stream.
 
+use mempod_sync::{Arc, Mutex};
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
 

@@ -23,9 +23,32 @@ step "mempod-audit lint (--deny-new)" \
 step "mempod-audit effects (--check)" \
     cargo run -q -p mempod-audit --offline -- effects \
     --check shard_safety.json
+# Rewrites lock_order.json in place and fails on any lock-acquisition
+# cycle or acquire/release atomic-ordering mismatch in the pipeline and
+# telemetry crates.
+step "mempod-audit sync" \
+    cargo run -q -p mempod-audit --offline -- sync --out lock_order.json
 step "cargo test (workspace)" cargo test -q --workspace --offline
 step "cargo test (debug-invariants)" \
     cargo test -q --features debug-invariants --offline
+
+# Bounded interleaving model checking: re-explores the four concurrency
+# models (barrier generations, watchdog cancel, shard-panic degradation,
+# poison recovery) under the instrumented facade, refreshes
+# model_check.report.json, and requires >= 1,000 distinct schedules with
+# zero violations.
+model_check() {
+    cargo test -q -p mempod-sync --features model-check --offline
+    python3 -c "
+import json
+d = json.load(open('model_check.report.json'))
+assert d['total_schedules'] >= 1000, f\"only {d['total_schedules']} schedules\"
+assert all(m['violations'] == 0 for m in d['models']), 'model violations'
+print(f\"model_check.report.json OK: {d['total_schedules']} schedules across \"
+      f\"{len(d['models'])} models, 0 violations\")
+"
+}
+step "mempod-sync model check" model_check
 
 # Scheduler benchmark smoke: must run and emit valid JSON with the
 # indexed-vs-reference speedup field, and the telemetry-overhead gate
